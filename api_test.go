@@ -1,0 +1,76 @@
+package jury_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	jury "repro"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly the way README's
+// quick start does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	net := jury.NewNetwork(jury.NetworkConfig{Seed: 1})
+	link := net.AddLink(jury.LinkConfig{
+		Rate:        50e6,
+		Delay:       15 * time.Millisecond,
+		BufferBytes: 375_000,
+	})
+	flow := net.AddFlow(jury.FlowConfig{
+		Name: "demo",
+		Path: []*jury.Link{link},
+		CC:   func() jury.CC { return jury.NewController(1) },
+	})
+	net.Run(30 * time.Second)
+	st := flow.Stats()
+	if st.AvgThroughputBps < 0.7*50e6 {
+		t.Fatalf("quickstart throughput %v", st.AvgThroughputBps)
+	}
+	if st.MinRTT < 30*time.Millisecond {
+		t.Fatalf("min RTT %v below propagation", st.MinRTT)
+	}
+}
+
+func TestPublicAPIMathHelpers(t *testing.T) {
+	// Eq. 5 inversion through the facade.
+	est, ok := jury.EstimateOccupancy(1.1, 1.1/(1+0.1*0.5))
+	if !ok || math.Abs(est-0.5) > 1e-9 {
+		t.Fatalf("EstimateOccupancy = %v, %v", est, ok)
+	}
+	// Eq. 6 through the facade.
+	if a := jury.PostProcess(0.2, 0.5, 0.5); a != 0.2 {
+		t.Fatalf("PostProcess = %v", a)
+	}
+	// Eq. 9 through the facade.
+	cfg := jury.DefaultConfig()
+	r := jury.Reward(cfg, 0.8, 30*time.Millisecond, 30*time.Millisecond, 0, 0)
+	if math.IsNaN(r) {
+		t.Fatal("reward NaN")
+	}
+}
+
+func TestPublicAPIConfigs(t *testing.T) {
+	cfg := jury.DefaultConfig()
+	if cfg.Interval != 30*time.Millisecond || cfg.Alpha != 0.025 {
+		t.Fatalf("Table 2 defaults wrong: %+v", cfg)
+	}
+	d := jury.DefaultTrainingDomain()
+	if d.MaxBandwidth != 100e6 || d.MaxFlows != 10 {
+		t.Fatalf("Table 1 defaults wrong: %+v", d)
+	}
+	if opts := jury.DefaultTrainOptions(1); opts.Actors != 8 {
+		t.Fatalf("train options wrong: %+v", opts)
+	}
+}
+
+func TestPublicAPICustomPolicy(t *testing.T) {
+	cfg := jury.DefaultConfig()
+	cfg.Seed = 9
+	ctrl := jury.NewControllerWithPolicy(cfg, jury.NewReferencePolicy())
+	if ctrl.Name() != "jury" {
+		t.Fatal("controller identity wrong")
+	}
+	var _ jury.Policy = jury.NewReferencePolicy()
+	var _ jury.Policy = &jury.NNPolicy{}
+}

@@ -1,0 +1,225 @@
+// Command juryplot regenerates the paper's figures as SVG images: the
+// throughput-dynamics panels (Fig. 1, 7, 8), the signal studies (Fig. 4,
+// 5), the Pareto scatters (Fig. 11, 13), and the LTE trace (Fig. 12).
+//
+// Examples:
+//
+//	juryplot -fig fig7b -out fig7b.svg
+//	juryplot -fig fig12 -out fig12.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/plot"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "", "figure id: fig1a fig1b fig4 fig5 fig7a..fig7h fig8 fig11a fig11b fig12 fig13a fig13b")
+		out  = flag.String("out", "", "output SVG path (default <fig>.svg)")
+		seed = flag.Uint64("seed", 1, "random seed")
+		full = flag.Bool("full", false, "run at the paper's full scale")
+	)
+	flag.Parse()
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = *fig + ".svg"
+	}
+	chart, err := build(*fig, *seed, *full)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "juryplot:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, []byte(chart.SVG()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "juryplot:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// seriesChart converts flow series rows into a time/Mbps chart.
+func seriesChart(title string, rows []exp.FlowSeriesRow) *plot.Chart {
+	byFlow := map[string]*plot.Series{}
+	var order []string
+	for _, r := range rows {
+		s, ok := byFlow[r.Flow]
+		if !ok {
+			s = &plot.Series{Name: r.Flow}
+			byFlow[r.Flow] = s
+			order = append(order, r.Flow)
+		}
+		s.X = append(s.X, r.T.Seconds())
+		s.Y = append(s.Y, r.Mbps)
+	}
+	sort.Strings(order)
+	c := &plot.Chart{Title: title, XLabel: "time (s)", YLabel: "throughput (Mbps)"}
+	for _, name := range order {
+		c.Series = append(c.Series, *byFlow[name])
+	}
+	return c
+}
+
+// paretoChart converts Fig. 11/13 rows into a scatter.
+func paretoChart(title string, rows []exp.Fig11Row, unit float64, yLabel string) *plot.Chart {
+	c := &plot.Chart{Title: title, XLabel: "normalized one-way delay", YLabel: yLabel}
+	for _, r := range rows {
+		c.Series = append(c.Series, plot.Series{
+			Name:   r.Scheme,
+			X:      []float64{r.NormalizedDelay},
+			Y:      []float64{r.ThroughputBps / unit},
+			Points: true,
+		})
+	}
+	return c
+}
+
+func build(fig string, seed uint64, full bool) (*plot.Chart, error) {
+	fig7opts := exp.Fig7Options{Seed: seed}
+	if !full {
+		fig7opts.Stagger, fig7opts.Lifetime = 20*time.Second, 60*time.Second
+	}
+	switch fig {
+	case "fig1a", "fig1b":
+		o := exp.Fig1Options{Seed: seed}
+		if !full {
+			o.Stagger, o.Lifetime = 20*time.Second, 60*time.Second
+		}
+		res, err := exp.Fig1AstraeaGeneralization(o)
+		if err != nil {
+			return nil, err
+		}
+		if fig == "fig1a" {
+			return seriesChart("Fig 1(a): Astraea, 100 Mbps (trained region)", res.InDomainSeries), nil
+		}
+		return seriesChart("Fig 1(b): Astraea, 350 Mbps (unseen)", res.OutDomainSeries), nil
+	case "fig4":
+		rows, err := exp.Fig4SignalPhases(exp.Fig4Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		var rate, thr, rtt, loss plot.Series
+		rate.Name, thr.Name, rtt.Name, loss.Name = "send rate", "throughput", "RTT", "loss"
+		// Scaled to [0,1] like the paper's Fig. 4.
+		maxRTT := 0.0
+		for _, r := range rows {
+			if v := float64(r.AvgRTT); v > maxRTT {
+				maxRTT = v
+			}
+		}
+		for _, r := range rows {
+			x := r.SendRateBps / 1e6
+			rate.X = append(rate.X, x)
+			rate.Y = append(rate.Y, r.SendRateBps/250e6)
+			thr.X = append(thr.X, x)
+			thr.Y = append(thr.Y, r.ThroughputBps/250e6)
+			rtt.X = append(rtt.X, x)
+			rtt.Y = append(rtt.Y, float64(r.AvgRTT)/maxRTT)
+			loss.X = append(loss.X, x)
+			loss.Y = append(loss.Y, r.LossRate)
+		}
+		return &plot.Chart{
+			Title:  "Fig 4: packet statistics vs. sending rate (scaled to [0,1])",
+			XLabel: "sending rate (Mbps)", YLabel: "scaled value",
+			Series: []plot.Series{thr, rtt, loss},
+		}, nil
+	case "fig5":
+		rows, err := exp.Fig5OccupancyProbe(exp.Fig5Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		var resp, est plot.Series
+		resp.Name, resp.Points = "thr change (+10% probe)", true
+		est.Name, est.Points = "Eq.5 estimate", true
+		for _, r := range rows {
+			resp.X = append(resp.X, r.Share)
+			resp.Y = append(resp.Y, r.ThrChangeRatio)
+			est.X = append(est.X, r.Share)
+			est.Y = append(est.Y, r.EstimatedShare)
+		}
+		return &plot.Chart{
+			Title:  "Fig 5: throughput response vs. occupancy",
+			XLabel: "true share", YLabel: "ratio",
+			Series: []plot.Series{resp, est},
+		}, nil
+	case "fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f", "fig7g", "fig7h":
+		id := fig[len(fig)-1:]
+		for _, p := range exp.Fig7Panels() {
+			if p.ID == id {
+				res, err := exp.Fig7Convergence(p, fig7opts)
+				if err != nil {
+					return nil, err
+				}
+				title := fmt.Sprintf("Fig 7(%s): %s, %.0f Mbps, %v RTT, %.1f%% loss (Jain %.3f)",
+					id, p.Scheme, p.Rate/1e6, p.RTT, p.Loss*100, res.Jain)
+				return seriesChart(title, res.Series), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown panel %s", fig)
+	case "fig8":
+		o := exp.Fig8Options{Seed: seed}
+		if !full {
+			o.Stagger, o.Lifetime = 20*time.Second, 100*time.Second
+		}
+		res, err := exp.Fig8RTTFairness(o)
+		if err != nil {
+			return nil, err
+		}
+		return seriesChart(fmt.Sprintf("Fig 8: RTT fairness (late Jain %.3f)", res.LateJain), res.Series), nil
+	case "fig11a":
+		rows, err := exp.Fig11Satellite(exp.Fig11Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return paretoChart("Fig 11(a): satellite (42 Mbps / 800 ms / 0.74% loss)", rows, 1e6, "throughput (Mbps)"), nil
+	case "fig11b":
+		rows, err := exp.Fig11HighSpeed(exp.Fig11Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return paretoChart("Fig 11(b): 10 Gbps / 15 ms", rows, 1e9, "throughput (Gbps)"), nil
+	case "fig12":
+		rows, err := exp.Fig12LTEResponsiveness(exp.Fig12Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		byScheme := map[string]*plot.Series{}
+		var order []string
+		for _, r := range rows {
+			s, ok := byScheme[r.Scheme]
+			if !ok {
+				s = &plot.Series{Name: r.Scheme}
+				byScheme[r.Scheme] = s
+				order = append(order, r.Scheme)
+			}
+			s.X = append(s.X, r.T.Seconds())
+			s.Y = append(s.Y, r.SendRateBps/1e6)
+		}
+		sort.Strings(order)
+		c := &plot.Chart{Title: "Fig 12: LTE responsiveness", XLabel: "time (s)", YLabel: "sending rate (Mbps)"}
+		for _, n := range order {
+			c.Series = append(c.Series, *byScheme[n])
+		}
+		return c, nil
+	case "fig13a", "fig13b":
+		rows, err := exp.Fig13WAN(fig == "fig13a", exp.Fig13Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		name := "intra-continental"
+		if fig == "fig13b" {
+			name = "inter-continental"
+		}
+		return paretoChart("Fig 13: emulated "+name+" WAN", rows, 1e6, "throughput (Mbps)"), nil
+	default:
+		return nil, fmt.Errorf("unknown figure %q", fig)
+	}
+}

@@ -1,0 +1,123 @@
+// Command jurysim runs an ad-hoc emulated scenario: one bottleneck link,
+// any mix of congestion-control schemes, and prints per-flow results.
+//
+// Examples:
+//
+//	jurysim -scheme jury -rate 100 -rtt 30 -flows 3 -duration 120
+//	jurysim -scheme cubic,jury -rate 50 -rtt 40 -loss 0.005
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		schemes  = flag.String("scheme", "jury", "comma-separated schemes; a single name is replicated -flows times")
+		rateMbps = flag.Float64("rate", 100, "bottleneck capacity, Mbps")
+		rttMS    = flag.Float64("rtt", 30, "base round-trip time, ms")
+		lossRate = flag.Float64("loss", 0, "random loss fraction, e.g. 0.001")
+		bufBDP   = flag.Float64("buffer", 1.5, "buffer size in BDP multiples")
+		flows    = flag.Int("flows", 1, "number of flows when -scheme is a single name")
+		stagger  = flag.Duration("stagger", 0, "delay between consecutive flow starts")
+		duration = flag.Duration("duration", 60*time.Second, "simulation horizon")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		series   = flag.Bool("series", false, "print 1-second throughput series per flow")
+		csvPath  = flag.String("csv", "", "write per-flow time series as CSV to this path")
+	)
+	flag.Parse()
+
+	names := strings.Split(*schemes, ",")
+	if len(names) == 1 && *flows > 1 {
+		single := names[0]
+		names = nil
+		for i := 0; i < *flows; i++ {
+			names = append(names, single)
+		}
+	}
+
+	s := exp.Scenario{
+		Name:        "jurysim",
+		Rate:        *rateMbps * 1e6,
+		OneWayDelay: time.Duration(*rttMS/2) * time.Millisecond,
+		LossRate:    *lossRate,
+		Horizon:     *duration,
+		Seed:        *seed,
+	}
+	s.BufferBytes = s.BufferBDP(*bufBDP)
+	for i, name := range names {
+		s.Flows = append(s.Flows, exp.FlowSpec{
+			Scheme: strings.TrimSpace(name),
+			Start:  time.Duration(i) * *stagger,
+		})
+	}
+
+	res, err := exp.Run(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jurysim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("link: %.1f Mbps, %.0f ms RTT, %.2f%% loss, %d B buffer — utilization %.3f\n",
+		*rateMbps, *rttMS, *lossRate*100, s.BufferBytes, res.Utilization)
+	var shares []float64
+	rows := make([][]string, 0, len(res.Flows))
+	for _, f := range res.Flows {
+		st := f.Stats()
+		shares = append(shares, st.AvgThroughputBps)
+		rows = append(rows, []string{
+			f.Name(),
+			exp.FmtMbps(st.AvgThroughputBps),
+			fmt.Sprintf("%.1f", float64(st.AvgRTT)/1e6),
+			fmt.Sprintf("%.1f", float64(st.MinRTT)/1e6),
+			fmt.Sprintf("%.3f%%", st.LossRate*100),
+		})
+	}
+	fmt.Print(exp.FormatTable([]string{"flow", "Mbps", "avgRTT(ms)", "minRTT(ms)", "loss"}, rows))
+	if len(res.Flows) > 1 {
+		fmt.Printf("Jain index (lifetime means): %.3f\n", metrics.JainIndex(shares))
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jurysim:", err)
+			os.Exit(1)
+		}
+		if err := report.WriteFlowSeriesCSV(f, res.Flows); err != nil {
+			fmt.Fprintln(os.Stderr, "jurysim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "jurysim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("series written to %s\n", *csvPath)
+	}
+
+	if *series {
+		for _, f := range res.Flows {
+			fmt.Printf("\n%s throughput (Mbps) per second:\n", f.Name())
+			var acc float64
+			var n int
+			next := time.Second
+			for _, p := range f.Series() {
+				acc += p.ThroughputBps
+				n++
+				if p.T >= next {
+					fmt.Printf("  t=%3ds %8.2f\n", int(next.Seconds()), acc/float64(n)/1e6)
+					acc, n = 0, 0
+					next += time.Second
+				}
+			}
+		}
+	}
+}

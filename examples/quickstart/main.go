@@ -1,0 +1,47 @@
+// Quickstart: run a single Jury flow over an emulated 100 Mbps / 30 ms
+// bottleneck and watch the controller's internals — the bandwidth-agnostic
+// signals, the decision range (μ, δ), the occupancy estimate, and the
+// resulting rate — settle at full utilization with a shallow queue.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	jury "repro"
+)
+
+func main() {
+	net := jury.NewNetwork(jury.NetworkConfig{Seed: 1})
+	link := net.AddLink(jury.LinkConfig{
+		Rate:        100e6,                 // 100 Mbit/s
+		Delay:       15 * time.Millisecond, // 30 ms RTT
+		BufferBytes: 750_000,               // 2 BDP
+	})
+
+	var ctrl *jury.Controller
+	flow := net.AddFlow(jury.FlowConfig{
+		Name: "quickstart",
+		Path: []*jury.Link{link},
+		CC: func() jury.CC {
+			ctrl = jury.NewController(1)
+			return ctrl
+		},
+	})
+
+	fmt.Println("t(s)  thr(Mbps)  rtt(ms)  occupancy     mu   delta  action")
+	for s := 2; s <= 30; s += 2 {
+		net.Run(time.Duration(s) * time.Second)
+		st := flow.Stats()
+		mu, delta := ctrl.LastRange()
+		fmt.Printf("%4d  %9.1f  %7.1f  %9.2f  %5.2f  %5.2f  %6.2f\n",
+			s, st.AvgThroughputBps/1e6, float64(st.AvgRTT)/1e6,
+			ctrl.Occupancy(), mu, delta, ctrl.LastAction())
+	}
+
+	st := flow.Stats()
+	fmt.Printf("\nfinal: %.1f Mbps (%.1f%% of capacity), min RTT %v, loss %.3f%%\n",
+		st.AvgThroughputBps/1e6, st.AvgThroughputBps/1e6, st.MinRTT, st.LossRate*100)
+	fmt.Printf("queuing delay at steady state: %.1f ms (base RTT 30 ms)\n",
+		float64(st.AvgRTT-flow.BaseRTT())/1e6)
+}

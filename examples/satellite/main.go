@@ -1,0 +1,34 @@
+// Satellite link (the paper's Fig. 11(a) scenario): 42 Mbit/s, 800 ms RTT,
+// 0.74% random loss — the conditions that break loss-based control (CUBIC
+// misreads random loss as congestion) and delay-sensitive online learners
+// (Vivace's control frequency is RTT-bound). Jury's normalized signals are
+// insensitive to both, so it keeps high utilization with low inflation.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	rows, err := exp.Fig11Satellite(exp.Fig11Options{
+		Schemes: []string{"jury", "cubic", "bbr", "vivace", "vegas", "aurora"},
+		Seed:    11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ThroughputBps > rows[j].ThroughputBps })
+
+	fmt.Println("satellite link: 42 Mbps, 800 ms RTT, 0.74% random loss")
+	fmt.Println()
+	fmt.Println("scheme    thr(Mbps)  utilization  delay inflation")
+	for _, r := range rows {
+		fmt.Printf("%-8s  %9.1f  %11.2f  %14.3fx\n",
+			r.Scheme, r.ThroughputBps/1e6, r.ThroughputBps/42e6, r.NormalizedDelay)
+	}
+	fmt.Println("\n(the paper reports Jury above 75% utilization with <5% latency")
+	fmt.Println(" inflation, while CUBIC/Vegas collapse on the random loss)")
+}

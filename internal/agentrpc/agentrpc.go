@@ -1,0 +1,278 @@
+// Package agentrpc reproduces the paper's deployment architecture (§4): the
+// congestion-control datapath and the policy inference run in different
+// address spaces, connected by a message channel (the paper uses a kernel
+// module talking to a userspace C++ inference service over netlink; here a
+// datapath-side Client talks to an inference Server over a stream socket
+// with a compact binary protocol).
+//
+// The Client implements core.Policy, so a Jury controller can be pointed at
+// a remote inference service transparently:
+//
+//	srv, _ := agentrpc.Serve("127.0.0.1:0", jury.NewReferencePolicy())
+//	client, _ := agentrpc.Dial(srv.Addr(), fallback)
+//	ctrl := core.New(cfg, client)
+//
+// Wire format (little endian):
+//
+//	request:  u32 count | count × f64 state
+//	response: f64 mu | f64 delta
+//
+// A count of 0 is a ping. The client degrades gracefully: on any transport
+// error it falls back to a local policy and tries to redial in the
+// background of subsequent decisions, because a congestion controller must
+// never stall its datapath on a dead inference service.
+package agentrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxStateDim bounds request sizes; real Jury states are tens of values.
+const maxStateDim = 4096
+
+// Policy matches core.Policy without importing it (no dependency cycle and
+// the package stays reusable).
+type Policy interface {
+	Decide(state []float64) (mu, delta float64)
+}
+
+// Server runs an inference service around a Policy.
+type Server struct {
+	policy Policy
+	ln     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	// Decisions counts served requests (atomically guarded by mu; the
+	// request rate is ~33/s per flow, contention is irrelevant).
+	decisions int64
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
+func Serve(addr string, p Policy) (*Server, error) {
+	if p == nil {
+		return nil, errors.New("agentrpc: nil policy")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{policy: p, ln: ln, conns: map[net.Conn]struct{}{}}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Decisions reports how many inference requests have been served.
+func (s *Server) Decisions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decisions
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var hdr [4]byte
+	buf := make([]float64, 0, 64)
+	raw := make([]byte, 0, 64*8)
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		count := binary.LittleEndian.Uint32(hdr[:])
+		if count > maxStateDim {
+			return // protocol violation: drop the connection
+		}
+		if count == 0 { // ping
+			var resp [16]byte
+			if _, err := conn.Write(resp[:]); err != nil {
+				return
+			}
+			continue
+		}
+		raw = raw[:0]
+		if cap(raw) < int(count)*8 {
+			raw = make([]byte, 0, count*8)
+		}
+		raw = raw[:count*8]
+		if _, err := io.ReadFull(conn, raw); err != nil {
+			return
+		}
+		buf = buf[:0]
+		for i := 0; i < int(count); i++ {
+			buf = append(buf, math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:])))
+		}
+		mu, delta := s.policy.Decide(buf)
+		var resp [16]byte
+		binary.LittleEndian.PutUint64(resp[0:], math.Float64bits(mu))
+		binary.LittleEndian.PutUint64(resp[8:], math.Float64bits(delta))
+		if _, err := conn.Write(resp[:]); err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.decisions++
+		s.mu.Unlock()
+	}
+}
+
+// Client is a core.Policy backed by a remote inference service, with a
+// local fallback policy for transport failures.
+type Client struct {
+	addr     string
+	fallback Policy
+	timeout  time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	// Stats for tests and monitoring.
+	remoteDecisions   int64
+	fallbackDecisions int64
+}
+
+// Dial connects to a server. The fallback policy (required) answers while
+// the service is unreachable.
+func Dial(addr string, fallback Policy) (*Client, error) {
+	if fallback == nil {
+		return nil, errors.New("agentrpc: nil fallback policy")
+	}
+	c := &Client{addr: addr, fallback: fallback, timeout: 100 * time.Millisecond}
+	if err := c.redial(); err != nil {
+		return nil, fmt.Errorf("agentrpc: initial dial: %w", err)
+	}
+	return c, nil
+}
+
+func (c *Client) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // one request per control interval: latency over batching
+	}
+	c.conn = conn
+	return nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// RemoteDecisions reports how many decisions the service answered.
+func (c *Client) RemoteDecisions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remoteDecisions
+}
+
+// FallbackDecisions reports how many decisions fell back locally.
+func (c *Client) FallbackDecisions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fallbackDecisions
+}
+
+// Decide implements core.Policy: one round trip to the service, falling
+// back to the local policy on any error.
+func (c *Client) Decide(state []float64) (float64, float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mu, delta, err := c.decideRemote(state)
+	if err != nil {
+		if c.conn != nil {
+			c.conn.Close()
+			c.conn = nil
+		}
+		c.fallbackDecisions++
+		return c.fallback.Decide(state)
+	}
+	c.remoteDecisions++
+	return mu, delta
+}
+
+func (c *Client) decideRemote(state []float64) (float64, float64, error) {
+	if len(state) > maxStateDim {
+		return 0, 0, fmt.Errorf("state dim %d exceeds protocol max", len(state))
+	}
+	if c.conn == nil {
+		if err := c.redial(); err != nil {
+			return 0, 0, err
+		}
+	}
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return 0, 0, err
+	}
+	req := make([]byte, 4+len(state)*8)
+	binary.LittleEndian.PutUint32(req, uint32(len(state)))
+	for i, v := range state {
+		binary.LittleEndian.PutUint64(req[4+i*8:], math.Float64bits(v))
+	}
+	if _, err := c.conn.Write(req); err != nil {
+		return 0, 0, err
+	}
+	var resp [16]byte
+	if _, err := io.ReadFull(c.conn, resp[:]); err != nil {
+		return 0, 0, err
+	}
+	mu := math.Float64frombits(binary.LittleEndian.Uint64(resp[0:]))
+	delta := math.Float64frombits(binary.LittleEndian.Uint64(resp[8:]))
+	if math.IsNaN(mu) || math.IsNaN(delta) {
+		return 0, 0, errors.New("agentrpc: non-finite response")
+	}
+	return mu, delta, nil
+}

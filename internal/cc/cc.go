@@ -1,0 +1,128 @@
+// Package cc defines the congestion-control algorithm interface shared by
+// every scheme in this repository (Jury, CUBIC, BBR, Vegas, Reno, Vivace,
+// Copa, Remy, Aurora, Astraea, Orca) and the statistic types delivered to
+// them by the network emulator.
+//
+// Conventions: rates are bits/second, congestion windows are packets
+// (float64 so multiplicative updates compose), time is time.Duration.
+package cc
+
+import "time"
+
+// Ack describes one acknowledged packet.
+type Ack struct {
+	Now    time.Duration // virtual time the ACK reached the sender
+	SentAt time.Duration // virtual time the packet left the sender
+	RTT    time.Duration // Now - SentAt
+	Bytes  int           // payload size of the acknowledged packet
+}
+
+// Loss describes one packet the sender has learned was lost.
+type Loss struct {
+	Now    time.Duration // virtual time the loss was detected
+	SentAt time.Duration // virtual time the lost packet left the sender
+	Bytes  int
+}
+
+// IntervalStats aggregates the feedback a flow received during one control
+// interval. Interval-based schemes (Jury and the DRL baselines) consume
+// these; ack-clocked schemes ignore them.
+type IntervalStats struct {
+	Now      time.Duration // end of the interval
+	Interval time.Duration // nominal interval length
+
+	AckedBytes   int64
+	AckedPackets int64
+	SentBytes    int64
+	SentPackets  int64
+	LostPackets  int64
+
+	AvgRTT time.Duration // mean RTT over ACKs in the interval (0 if none)
+	MinRTT time.Duration // minimum RTT over ACKs in the interval (0 if none)
+
+	// FlowMinRTT is the minimum RTT the flow has ever observed; schemes use
+	// it as the propagation-delay estimate.
+	FlowMinRTT time.Duration
+
+	// EnforcedRateBps is the pacing rate the controller had enforced while
+	// this interval's packets were being sent (bits/second; 0 if unpaced).
+	EnforcedRateBps float64
+
+	// DeliverySpan is the time between the first and last ACK of this
+	// interval's packets. The delivery rate of an interval's packets —
+	// AckedBytes spread over this span — is the throughput measure that
+	// distinguishes "the link absorbed my extra packets" (delivery spacing
+	// stretches to the bottleneck share) from "the link had headroom"
+	// (delivery spacing mirrors send spacing).
+	DeliverySpan time.Duration
+}
+
+// DeliveryRate reports the delivery rate of the interval's packets in
+// bits/second: the acknowledged bytes spread over the ACK span (excluding
+// the first packet, which opens the span). It falls back to Throughput()
+// when the interval has too few ACKs to span.
+func (s IntervalStats) DeliveryRate() float64 {
+	if s.AckedPackets >= 2 && s.DeliverySpan > 0 {
+		n := float64(s.AckedPackets)
+		return float64(s.AckedBytes) * 8 * (n - 1) / n / s.DeliverySpan.Seconds()
+	}
+	return s.Throughput()
+}
+
+// Throughput reports the delivery rate over the interval in bits/second.
+func (s IntervalStats) Throughput() float64 {
+	if s.Interval <= 0 {
+		return 0
+	}
+	return float64(s.AckedBytes) * 8 / s.Interval.Seconds()
+}
+
+// LossRate reports the fraction of feedback-bearing packets in the interval
+// that were lost: lost / (acked + lost). It is 0 when there was no feedback.
+func (s IntervalStats) LossRate() float64 {
+	total := s.AckedPackets + s.LostPackets
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LostPackets) / float64(total)
+}
+
+// Algorithm is the control interface the emulator drives. Implementations
+// are single-flow and are never called concurrently.
+type Algorithm interface {
+	// Name identifies the scheme ("jury", "cubic", ...).
+	Name() string
+	// Init is called once when the flow starts sending.
+	Init(now time.Duration)
+	// OnAck is called for each acknowledged packet.
+	OnAck(ack Ack)
+	// OnLoss is called for each detected packet loss.
+	OnLoss(loss Loss)
+	// CWND reports the congestion window in packets. The sender never keeps
+	// more than CWND packets in flight.
+	CWND() float64
+	// PacingRate reports the pacing rate in bits/second. Zero means
+	// "unpaced": the sender is limited by CWND only.
+	PacingRate() float64
+}
+
+// IntervalAlgorithm is implemented by schemes that act on periodic
+// aggregated statistics rather than (or in addition to) per-ACK feedback.
+type IntervalAlgorithm interface {
+	Algorithm
+	// ControlInterval reports how often OnInterval should run.
+	ControlInterval() time.Duration
+	// OnInterval delivers the aggregate statistics for the last interval.
+	OnInterval(s IntervalStats)
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

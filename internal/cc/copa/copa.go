@@ -1,0 +1,140 @@
+// Package copa implements Copa (Arun & Balakrishnan, NSDI'18) in its default
+// mode: the sender steers its rate toward 1/(δ·dq) where dq is the standing
+// queueing delay, using velocity-doubled window steps. Copa appears in the
+// paper's CPU-overhead comparison (Fig. 14).
+package copa
+
+import (
+	"time"
+
+	"repro/internal/cc"
+)
+
+const (
+	// Delta trades throughput for delay; 0.5 is Copa's default.
+	Delta = 0.5
+
+	initialWindow = 10
+	minWindow     = 2
+)
+
+// Copa is a Copa controller. Construct with New.
+type Copa struct {
+	cwnd float64
+	v    float64 // velocity
+
+	minRTT   *cc.WindowedMinRTT // propagation estimate, 10 s window
+	standing *cc.WindowedMinRTT // RTT_standing: min over srtt/2
+	srtt     time.Duration
+
+	lastDir       int // +1 up, -1 down
+	dirSince      time.Duration
+	lastVelUpdate time.Duration
+
+	inRecovery bool
+	lastLoss   time.Duration
+}
+
+// New returns a Copa controller.
+func New() *Copa {
+	return &Copa{
+		cwnd:     initialWindow,
+		v:        1,
+		minRTT:   cc.NewWindowedMinRTT(10 * time.Second),
+		standing: cc.NewWindowedMinRTT(100 * time.Millisecond),
+	}
+}
+
+// Name implements cc.Algorithm.
+func (c *Copa) Name() string { return "copa" }
+
+// Init implements cc.Algorithm.
+func (c *Copa) Init(time.Duration) {}
+
+// OnAck implements cc.Algorithm.
+func (c *Copa) OnAck(a cc.Ack) {
+	if c.srtt == 0 {
+		c.srtt = a.RTT
+	} else {
+		c.srtt += (a.RTT - c.srtt) / 8
+	}
+	c.minRTT.Update(a.Now, a.RTT)
+	// RTT_standing is the min RTT over the last srtt/2 — it filters ACK
+	// jitter but tracks the standing queue.
+	c.standing.SetWindow(c.srtt / 2)
+	c.standing.Update(a.Now, a.RTT)
+
+	if c.inRecovery {
+		if a.SentAt >= c.lastLoss {
+			c.inRecovery = false
+		} else {
+			return
+		}
+	}
+
+	dq := (c.standing.Value() - c.minRTT.Value()).Seconds()
+	dir := +1
+	if dq > 0 {
+		targetRate := 1 / (Delta * dq) // packets/second
+		curRate := c.cwnd / c.standing.Value().Seconds()
+		if curRate > targetRate {
+			dir = -1
+		}
+	}
+	c.updateVelocity(a.Now, dir)
+	step := c.v / (Delta * c.cwnd)
+	c.cwnd += float64(dir) * step
+	if c.cwnd < minWindow {
+		c.cwnd = minWindow
+	}
+}
+
+// updateVelocity doubles v once per RTT while the direction persists and
+// resets it on a direction change (Copa §2.2).
+func (c *Copa) updateVelocity(now time.Duration, dir int) {
+	if dir != c.lastDir {
+		c.lastDir = dir
+		c.dirSince = now
+		c.lastVelUpdate = now
+		c.v = 1
+		return
+	}
+	// Direction must persist for 3 RTTs before velocity doubling starts.
+	if now-c.dirSince < 3*c.srtt {
+		return
+	}
+	if now-c.lastVelUpdate >= c.srtt {
+		c.lastVelUpdate = now
+		c.v *= 2
+		if c.v > 1<<16 {
+			c.v = 1 << 16
+		}
+	}
+}
+
+// OnLoss implements cc.Algorithm. Default-mode Copa treats loss as a mild
+// congestion signal (a single multiplicative cut per event).
+func (c *Copa) OnLoss(l cc.Loss) {
+	if c.inRecovery && l.SentAt < c.lastLoss {
+		return
+	}
+	c.inRecovery = true
+	c.lastLoss = l.Now
+	c.v = 1
+	c.cwnd *= 0.7
+	if c.cwnd < minWindow {
+		c.cwnd = minWindow
+	}
+}
+
+// CWND implements cc.Algorithm.
+func (c *Copa) CWND() float64 { return c.cwnd }
+
+// PacingRate implements cc.Algorithm: Copa paces at 2·cwnd/RTT to spread
+// the window over the round trip.
+func (c *Copa) PacingRate() float64 {
+	if c.srtt == 0 {
+		return 0
+	}
+	return 2 * c.cwnd * 1500 * 8 / c.srtt.Seconds()
+}

@@ -1,0 +1,98 @@
+package copa
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+)
+
+func drive(c *Copa, start, dur time.Duration, rtt time.Duration) time.Duration {
+	gap := 2 * time.Millisecond
+	for now := start; now < start+dur; now += gap {
+		c.OnAck(cc.Ack{Now: now, SentAt: now - rtt, RTT: rtt, Bytes: 1500})
+	}
+	return start + dur
+}
+
+func TestGrowsWhenQueueEmpty(t *testing.T) {
+	c := New()
+	c.Init(0)
+	w := c.CWND()
+	// RTT pinned at base: dq=0, target infinite, window must climb.
+	drive(c, time.Millisecond, time.Second, 30*time.Millisecond)
+	if c.CWND() <= w {
+		t.Fatalf("no growth on empty queue: %v -> %v", w, c.CWND())
+	}
+}
+
+func TestShrinksWhenQueueDeep(t *testing.T) {
+	c := New()
+	c.Init(0)
+	// Establish the base RTT first.
+	now := drive(c, time.Millisecond, 200*time.Millisecond, 30*time.Millisecond)
+	c.cwnd = 200
+	// Deep standing queue: rate 200/0.09 ≈ 2222 pkt/s far above target
+	// 1/(0.5·0.06) ≈ 33 pkt/s.
+	drive(c, now, time.Second, 90*time.Millisecond)
+	if c.CWND() >= 200 {
+		t.Fatalf("no backoff with deep queue: %v", c.CWND())
+	}
+}
+
+func TestVelocityDoublesOnPersistentDirection(t *testing.T) {
+	c := New()
+	c.Init(0)
+	drive(c, time.Millisecond, 2*time.Second, 30*time.Millisecond)
+	if c.v < 2 {
+		t.Fatalf("velocity %v never doubled despite persistent direction", c.v)
+	}
+}
+
+func TestVelocityResetsOnDirectionFlip(t *testing.T) {
+	c := New()
+	c.Init(0)
+	now := drive(c, time.Millisecond, 2*time.Second, 30*time.Millisecond)
+	if c.v < 2 {
+		t.Skip("velocity did not build up")
+	}
+	c.cwnd = 500 // force the down direction
+	drive(c, now, 100*time.Millisecond, 90*time.Millisecond)
+	if c.v > 2 {
+		t.Fatalf("velocity %v not reset on direction flip", c.v)
+	}
+}
+
+func TestLossCutOncePerEvent(t *testing.T) {
+	c := New()
+	c.Init(0)
+	c.cwnd = 100
+	c.OnLoss(cc.Loss{Now: time.Second, SentAt: 990 * time.Millisecond})
+	w := c.CWND()
+	if w != 70 {
+		t.Fatalf("post-loss cwnd %v, want 70", w)
+	}
+	c.OnLoss(cc.Loss{Now: 1010 * time.Millisecond, SentAt: 995 * time.Millisecond})
+	if c.CWND() != w {
+		t.Fatalf("coalescing failed: %v", c.CWND())
+	}
+}
+
+func TestPacingTwiceWindowOverRTT(t *testing.T) {
+	c := New()
+	c.Init(0)
+	if c.PacingRate() != 0 {
+		t.Fatal("pacing before first RTT sample should be 0")
+	}
+	drive(c, time.Millisecond, 100*time.Millisecond, 30*time.Millisecond)
+	want := 2 * c.CWND() * 1500 * 8 / c.srtt.Seconds()
+	if got := c.PacingRate(); got != want {
+		t.Fatalf("pacing %v, want %v", got, want)
+	}
+}
+
+func TestCopaIdentity(t *testing.T) {
+	if New().Name() != "copa" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,171 @@
+// Package cubic implements the CUBIC congestion control algorithm
+// (Ha, Rhee, Xu, 2008): a cubic window-growth function anchored at the
+// window size of the last congestion event, with fast convergence and the
+// TCP-friendly region. CUBIC is the strongest classic baseline in the
+// paper's evaluation and the classic half of the Orca hybrid.
+package cubic
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cc"
+)
+
+const (
+	// Beta is the multiplicative decrease factor (Linux uses 0.7 remaining,
+	// i.e. a 0.3 cut).
+	Beta = 0.7
+	// C scales the cubic growth function (RFC 8312 value).
+	C = 0.4
+
+	initialWindow = 10
+	minWindow     = 2
+)
+
+// Cubic is a CUBIC controller. Construct with New.
+type Cubic struct {
+	cwnd     float64
+	ssthresh float64
+
+	wMax       float64       // window at the last congestion event
+	epochStart time.Duration // start of the current cubic epoch
+	k          float64       // time to regrow to wMax, seconds
+
+	srtt       time.Duration
+	inRecovery bool
+	lastLoss   time.Duration
+
+	ackedSinceGrow float64 // fractional-window accumulation for TCP-friendly growth
+	wEst           float64 // TCP-friendly (AIMD) window estimate
+}
+
+// New returns a CUBIC controller in slow start.
+func New() *Cubic {
+	return &Cubic{cwnd: initialWindow, ssthresh: 1e9}
+}
+
+// Name implements cc.Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// Init implements cc.Algorithm.
+func (c *Cubic) Init(time.Duration) {}
+
+// OnAck implements cc.Algorithm.
+func (c *Cubic) OnAck(a cc.Ack) {
+	if c.srtt == 0 {
+		c.srtt = a.RTT
+	} else {
+		c.srtt += (a.RTT - c.srtt) / 8
+	}
+	if c.inRecovery && a.SentAt >= c.lastLoss {
+		c.inRecovery = false
+	}
+	if c.inRecovery {
+		return
+	}
+	if c.cwnd < c.ssthresh {
+		c.cwnd++
+		return
+	}
+	c.congestionAvoidance(a.Now)
+}
+
+// congestionAvoidance applies the cubic growth function
+// W(t) = C·(t−K)³ + Wmax, bounded below by the TCP-friendly estimate.
+func (c *Cubic) congestionAvoidance(now time.Duration) {
+	if c.epochStart == 0 {
+		c.epochStart = now
+		if c.cwnd < c.wMax {
+			c.k = math.Cbrt((c.wMax - c.cwnd) / C)
+		} else {
+			c.k = 0
+			c.wMax = c.cwnd
+		}
+		c.wEst = c.cwnd
+		c.ackedSinceGrow = 0
+	}
+	t := (now - c.epochStart).Seconds()
+	target := C*math.Pow(t-c.k, 3) + c.wMax
+
+	// TCP-friendly region: emulate AIMD growth of 3(1−β)/(1+β) packets per
+	// RTT; one RTT ≈ cwnd ACKs, so track elapsed "RTTs" as acked/cwnd.
+	c.ackedSinceGrow++
+	growPerRTT := 3 * (1 - Beta) / (1 + Beta)
+	c.wEst = c.wEstStart() + growPerRTT*(c.ackedSinceGrow/c.cwnd)
+	if target < c.wEst {
+		target = c.wEst
+	}
+
+	if target > c.cwnd {
+		// Approach the target over roughly one RTT of ACKs.
+		c.cwnd += (target - c.cwnd) / c.cwnd
+	} else {
+		c.cwnd += 0.01 / c.cwnd // minimal probe growth at/above target
+	}
+	if c.cwnd > 1e9 {
+		c.cwnd = 1e9
+	}
+}
+
+// wEstStart is the AIMD window at the start of the epoch.
+func (c *Cubic) wEstStart() float64 {
+	return c.wMax * Beta
+}
+
+// OnLoss implements cc.Algorithm: multiplicative decrease with fast
+// convergence, one cut per congestion event.
+func (c *Cubic) OnLoss(l cc.Loss) {
+	if c.inRecovery && l.SentAt < c.lastLoss {
+		return
+	}
+	c.inRecovery = true
+	c.lastLoss = l.Now
+	c.epochStart = 0
+	if c.cwnd < c.wMax {
+		// Fast convergence: release more bandwidth when the available
+		// capacity appears to have shrunk.
+		c.wMax = c.cwnd * (1 + Beta) / 2
+	} else {
+		c.wMax = c.cwnd
+	}
+	c.cwnd *= Beta
+	if c.cwnd < minWindow {
+		c.cwnd = minWindow
+	}
+	c.ssthresh = c.cwnd
+}
+
+// CWND implements cc.Algorithm.
+func (c *Cubic) CWND() float64 { return c.cwnd }
+
+// PacingRate implements cc.Algorithm. CUBIC is ack-clocked (unpaced).
+func (c *Cubic) PacingRate() float64 { return 0 }
+
+// WMax exposes the last-event window (Orca's hybrid control reads it).
+func (c *Cubic) WMax() float64 { return c.wMax }
+
+// SetCWND overrides the window; the Orca hybrid uses this to apply its
+// DRL multiplier on top of CUBIC's state. CUBIC's growth target is
+// untouched, so the window converges back toward the cubic function within
+// about one RTT.
+func (c *Cubic) SetCWND(w float64) {
+	if w < minWindow {
+		w = minWindow
+	}
+	c.cwnd = w
+}
+
+// Rebase overrides the window *and* re-anchors CUBIC's state (wMax,
+// ssthresh, epoch) at it, the effect of an external controller setting both
+// snd_cwnd and snd_ssthresh: growth restarts from the new anchor instead of
+// snapping back to the old target.
+func (c *Cubic) Rebase(w float64) {
+	if w < minWindow {
+		w = minWindow
+	}
+	c.cwnd = w
+	c.wMax = w
+	c.ssthresh = w
+	c.epochStart = 0
+}

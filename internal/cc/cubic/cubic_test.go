@@ -1,0 +1,138 @@
+package cubic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+)
+
+func ack(now time.Duration) cc.Ack {
+	return cc.Ack{Now: now, SentAt: now - 30*time.Millisecond, RTT: 30 * time.Millisecond, Bytes: 1500}
+}
+
+func TestSlowStartThenLoss(t *testing.T) {
+	c := New()
+	c.Init(0)
+	for i := 0; i < 90; i++ {
+		c.OnAck(ack(time.Duration(i) * time.Millisecond))
+	}
+	w := c.CWND()
+	if w != 100 {
+		t.Fatalf("slow-start cwnd %v, want 100", w)
+	}
+	c.OnLoss(cc.Loss{Now: 100 * time.Millisecond, SentAt: 95 * time.Millisecond})
+	if got := c.CWND(); math.Abs(got-Beta*w) > 1e-9 {
+		t.Fatalf("post-loss cwnd %v, want %v", got, Beta*w)
+	}
+}
+
+func TestCubicRegrowthTowardWMax(t *testing.T) {
+	c := New()
+	c.Init(0)
+	for i := 0; i < 90; i++ {
+		c.OnAck(ack(time.Duration(i) * time.Millisecond))
+	}
+	c.OnLoss(cc.Loss{Now: 100 * time.Millisecond, SentAt: 95 * time.Millisecond})
+	wCut := c.CWND()
+	// Feed ACKs for several seconds; cubic must regrow toward wMax=100.
+	now := 200 * time.Millisecond
+	for i := 0; i < 4000; i++ {
+		now += 2 * time.Millisecond
+		c.OnAck(ack(now))
+	}
+	w := c.CWND()
+	if w <= wCut {
+		t.Fatalf("cubic did not regrow: %v <= %v", w, wCut)
+	}
+	if w < 90 {
+		t.Fatalf("cubic regrew only to %v after 8s, want ≥90", w)
+	}
+}
+
+func TestCubicPlateausNearWMax(t *testing.T) {
+	// Near t=K the growth function flattens: window change per second is
+	// much smaller around wMax than at the start of the epoch.
+	c := New()
+	c.Init(0)
+	for i := 0; i < 90; i++ {
+		c.OnAck(ack(time.Duration(i) * time.Millisecond))
+	}
+	c.OnLoss(cc.Loss{Now: 100 * time.Millisecond, SentAt: 95 * time.Millisecond})
+	now := 200 * time.Millisecond
+	var wPrev, earlyRate, lateRate float64
+	wPrev = c.CWND()
+	for i := 0; i < 2000; i++ {
+		now += 2 * time.Millisecond
+		c.OnAck(ack(now))
+		if i == 250 {
+			earlyRate = c.CWND() - wPrev
+			wPrev = c.CWND()
+		}
+		if i == 1999 {
+			lateRate = c.CWND() - wPrev
+		}
+		if i == 1749 {
+			wPrev = c.CWND()
+		}
+	}
+	if earlyRate <= 0 {
+		t.Fatalf("no early growth (%v)", earlyRate)
+	}
+	if lateRate > earlyRate {
+		t.Fatalf("growth accelerated near wMax: early %v late %v", earlyRate, lateRate)
+	}
+}
+
+func TestFastConvergenceLowersWMax(t *testing.T) {
+	c := New()
+	c.Init(0)
+	for i := 0; i < 90; i++ {
+		c.OnAck(ack(time.Duration(i) * time.Millisecond))
+	}
+	c.OnLoss(cc.Loss{Now: time.Second, SentAt: 999 * time.Millisecond})
+	firstWMax := c.WMax()
+	// Second loss while still below the old wMax: fast convergence shrinks
+	// the anchor below the current window.
+	c.OnAck(ack(1200 * time.Millisecond))
+	c.OnLoss(cc.Loss{Now: 1300 * time.Millisecond, SentAt: 1250 * time.Millisecond})
+	if c.WMax() >= firstWMax {
+		t.Fatalf("fast convergence did not lower wMax: %v -> %v", firstWMax, c.WMax())
+	}
+}
+
+func TestLossEventCoalescing(t *testing.T) {
+	c := New()
+	c.Init(0)
+	for i := 0; i < 50; i++ {
+		c.OnAck(ack(time.Duration(i) * time.Millisecond))
+	}
+	c.OnLoss(cc.Loss{Now: 100 * time.Millisecond, SentAt: 90 * time.Millisecond})
+	w := c.CWND()
+	for i := 0; i < 10; i++ {
+		c.OnLoss(cc.Loss{Now: 101 * time.Millisecond, SentAt: 91 * time.Millisecond})
+	}
+	if c.CWND() != w {
+		t.Fatalf("burst losses cut repeatedly: %v -> %v", w, c.CWND())
+	}
+}
+
+func TestSetCWNDClampsToMinimum(t *testing.T) {
+	c := New()
+	c.SetCWND(0.1)
+	if c.CWND() < 2 {
+		t.Fatalf("SetCWND allowed %v", c.CWND())
+	}
+	c.SetCWND(42)
+	if c.CWND() != 42 {
+		t.Fatalf("SetCWND(42) = %v", c.CWND())
+	}
+}
+
+func TestCubicUnpacedName(t *testing.T) {
+	c := New()
+	if c.PacingRate() != 0 || c.Name() != "cubic" {
+		t.Fatal("cubic identity wrong")
+	}
+}

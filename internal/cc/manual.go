@@ -1,0 +1,42 @@
+package cc
+
+import "time"
+
+// Manual is a directly steered controller used by experiments that probe the
+// network with scripted sending rates (the paper's Fig. 4 ramp and Fig. 5
+// +10% occupancy probes) and by emulator tests. It never reacts to feedback;
+// callers set the rate and window explicitly.
+type Manual struct {
+	rate float64
+	cwnd float64
+}
+
+// NewManual returns a controller pinned at the given pacing rate
+// (bits/second) with a window large enough to keep the rate unconstrained.
+func NewManual(rate float64) *Manual {
+	return &Manual{rate: rate, cwnd: 1 << 20}
+}
+
+// Name implements Algorithm.
+func (m *Manual) Name() string { return "manual" }
+
+// Init implements Algorithm.
+func (m *Manual) Init(time.Duration) {}
+
+// OnAck implements Algorithm.
+func (m *Manual) OnAck(Ack) {}
+
+// OnLoss implements Algorithm.
+func (m *Manual) OnLoss(Loss) {}
+
+// CWND implements Algorithm.
+func (m *Manual) CWND() float64 { return m.cwnd }
+
+// PacingRate implements Algorithm.
+func (m *Manual) PacingRate() float64 { return m.rate }
+
+// SetRate changes the pacing rate (bits/second).
+func (m *Manual) SetRate(rate float64) { m.rate = rate }
+
+// SetCWND changes the window (packets).
+func (m *Manual) SetCWND(cwnd float64) { m.cwnd = cwnd }

@@ -1,0 +1,169 @@
+// Package remy implements a RemyCC-style rule-table congestion controller
+// (Winstein & Balakrishnan, SIGCOMM'13). Remy proper ships machine-optimized
+// rule tables that were never published; this package implements the full
+// RemyCC runtime — the three-feature sender state (ACK inter-arrival EWMA,
+// send inter-arrival EWMA, RTT ratio) and per-ACK table-driven window/pacing
+// actions — with a coarse hand-seeded default table (see DESIGN.md
+// substitutions). In this repository Remy only appears in the CPU-overhead
+// comparison (Fig. 14), which measures the control path, not table quality.
+package remy
+
+import (
+	"time"
+
+	"repro/internal/cc"
+)
+
+// State is RemyCC's three-feature congestion signal.
+type State struct {
+	AckEWMA  float64 // smoothed ACK inter-arrival time, milliseconds
+	SendEWMA float64 // smoothed sender inter-send time (of acked pkts), ms
+	RTTRatio float64 // last RTT / min RTT
+}
+
+// Action is one rule's response.
+type Action struct {
+	WindowMult  float64 // m: cwnd ← m·cwnd + b
+	WindowInc   float64 // b
+	IntersendMS float64 // τ: minimum time between sends (pacing), ms
+}
+
+// Rule is one cell of the rule table: a box in state space and its action.
+type Rule struct {
+	Lo, Hi State // inclusive lower bound, exclusive upper bound
+	Act    Action
+}
+
+// contains reports whether s falls in the rule's box.
+func (r Rule) contains(s State) bool {
+	return s.AckEWMA >= r.Lo.AckEWMA && s.AckEWMA < r.Hi.AckEWMA &&
+		s.SendEWMA >= r.Lo.SendEWMA && s.SendEWMA < r.Hi.SendEWMA &&
+		s.RTTRatio >= r.Lo.RTTRatio && s.RTTRatio < r.Hi.RTTRatio
+}
+
+const inf = 1e18
+
+// DefaultTable is a coarse stand-in for a Remy-optimized table: probe while
+// the path shows no queueing, hold in a moderate band, and back off
+// multiplicatively once the RTT ratio indicates a standing queue.
+func DefaultTable() []Rule {
+	any := State{0, 0, 0}
+	cap := State{inf, inf, inf}
+	return []Rule{
+		{Lo: any, Hi: State{inf, inf, 1.15}, Act: Action{WindowMult: 1.0, WindowInc: 0.5, IntersendMS: 0}},
+		{Lo: State{0, 0, 1.15}, Hi: State{inf, inf, 1.7}, Act: Action{WindowMult: 1.0, WindowInc: 0.05, IntersendMS: 0.1}},
+		{Lo: State{0, 0, 1.7}, Hi: State{inf, inf, 2.5}, Act: Action{WindowMult: 0.98, WindowInc: 0, IntersendMS: 0.3}},
+		{Lo: State{0, 0, 2.5}, Hi: cap, Act: Action{WindowMult: 0.9, WindowInc: 0, IntersendMS: 1}},
+	}
+}
+
+// Remy is a rule-table controller. Construct with New.
+type Remy struct {
+	table []Rule
+	cwnd  float64
+
+	state    State
+	lastAck  time.Duration
+	lastSent time.Duration
+	minRTT   time.Duration
+
+	intersend float64 // current τ, ms
+
+	inRecovery bool
+	lastLoss   time.Duration
+}
+
+// New returns a Remy controller using the given table (nil = DefaultTable).
+func New(table []Rule) *Remy {
+	if table == nil {
+		table = DefaultTable()
+	}
+	return &Remy{table: table, cwnd: 10}
+}
+
+// Name implements cc.Algorithm.
+func (r *Remy) Name() string { return "remy" }
+
+// Init implements cc.Algorithm.
+func (r *Remy) Init(time.Duration) {}
+
+// Lookup returns the action for state s (the last matching rule wins ties;
+// the default table is ordered from no-queue to deep-queue).
+func (r *Remy) Lookup(s State) Action {
+	for _, rule := range r.table {
+		if rule.contains(s) {
+			return rule.Act
+		}
+	}
+	// Out-of-table states fall back to a conservative hold.
+	return Action{WindowMult: 1, WindowInc: 0, IntersendMS: 1}
+}
+
+// OnAck implements cc.Algorithm: update the three-feature state and apply
+// the matched rule's action.
+func (r *Remy) OnAck(a cc.Ack) {
+	const alpha = 1.0 / 8
+	if r.minRTT == 0 || a.RTT < r.minRTT {
+		r.minRTT = a.RTT
+	}
+	if r.lastAck != 0 {
+		gap := float64(a.Now-r.lastAck) / float64(time.Millisecond)
+		r.state.AckEWMA += alpha * (gap - r.state.AckEWMA)
+	}
+	if r.lastSent != 0 {
+		gap := float64(a.SentAt-r.lastSent) / float64(time.Millisecond)
+		if gap >= 0 {
+			r.state.SendEWMA += alpha * (gap - r.state.SendEWMA)
+		}
+	}
+	r.lastAck = a.Now
+	r.lastSent = a.SentAt
+	r.state.RTTRatio = float64(a.RTT) / float64(r.minRTT)
+
+	if r.inRecovery {
+		if a.SentAt >= r.lastLoss {
+			r.inRecovery = false
+		} else {
+			return
+		}
+	}
+	act := r.Lookup(r.state)
+	r.cwnd = act.WindowMult*r.cwnd + act.WindowInc/r.cwnd
+	r.intersend = act.IntersendMS
+	if r.cwnd < 2 {
+		r.cwnd = 2
+	}
+	if r.cwnd > 1e6 {
+		r.cwnd = 1e6
+	}
+}
+
+// OnLoss implements cc.Algorithm: RemyCC tables were trained without loss
+// signals; like deployed Remy evaluations we add a single multiplicative cut
+// per loss event so the controller survives DropTail overflow.
+func (r *Remy) OnLoss(l cc.Loss) {
+	if r.inRecovery && l.SentAt < r.lastLoss {
+		return
+	}
+	r.inRecovery = true
+	r.lastLoss = l.Now
+	r.cwnd /= 2
+	if r.cwnd < 2 {
+		r.cwnd = 2
+	}
+}
+
+// CWND implements cc.Algorithm.
+func (r *Remy) CWND() float64 { return r.cwnd }
+
+// PacingRate implements cc.Algorithm: the rule's intersend time τ sets a
+// packet-per-τ pacing rate; τ=0 means ack-clocked.
+func (r *Remy) PacingRate() float64 {
+	if r.intersend <= 0 {
+		return 0
+	}
+	return 1500 * 8 / (r.intersend / 1e3)
+}
+
+// StateSnapshot exposes the current feature vector for tests.
+func (r *Remy) StateSnapshot() State { return r.state }

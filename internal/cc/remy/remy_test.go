@@ -1,0 +1,107 @@
+package remy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+)
+
+func TestLookupMatchesByRTTRatio(t *testing.T) {
+	r := New(nil)
+	probe := r.Lookup(State{AckEWMA: 1, SendEWMA: 1, RTTRatio: 1.0})
+	if probe.WindowInc <= 0 {
+		t.Fatalf("no-queue state should probe, got %+v", probe)
+	}
+	backoff := r.Lookup(State{AckEWMA: 1, SendEWMA: 1, RTTRatio: 3.0})
+	if backoff.WindowMult >= 1 {
+		t.Fatalf("deep-queue state should back off, got %+v", backoff)
+	}
+}
+
+func TestLookupFallbackOutOfTable(t *testing.T) {
+	r := New([]Rule{{Lo: State{0, 0, 0}, Hi: State{1, 1, 1}, Act: Action{WindowMult: 2}}})
+	act := r.Lookup(State{AckEWMA: 5, SendEWMA: 5, RTTRatio: 5})
+	if act.WindowMult != 1 || act.WindowInc != 0 {
+		t.Fatalf("fallback action %+v, want conservative hold", act)
+	}
+}
+
+func TestStateEWMAUpdates(t *testing.T) {
+	r := New(nil)
+	r.Init(0)
+	rtt := 30 * time.Millisecond
+	for i := 1; i <= 50; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		r.OnAck(cc.Ack{Now: now, SentAt: now - rtt, RTT: rtt, Bytes: 1500})
+	}
+	s := r.StateSnapshot()
+	if s.AckEWMA < 8 || s.AckEWMA > 12 {
+		t.Fatalf("ack EWMA %v, want ~10ms", s.AckEWMA)
+	}
+	if s.SendEWMA < 8 || s.SendEWMA > 12 {
+		t.Fatalf("send EWMA %v, want ~10ms", s.SendEWMA)
+	}
+	if s.RTTRatio != 1 {
+		t.Fatalf("RTT ratio %v, want 1", s.RTTRatio)
+	}
+}
+
+func TestWindowGrowsWhenUncongested(t *testing.T) {
+	r := New(nil)
+	r.Init(0)
+	w := r.CWND()
+	rtt := 30 * time.Millisecond
+	for i := 1; i <= 100; i++ {
+		now := time.Duration(i) * 5 * time.Millisecond
+		r.OnAck(cc.Ack{Now: now, SentAt: now - rtt, RTT: rtt, Bytes: 1500})
+	}
+	if r.CWND() <= w {
+		t.Fatalf("window did not grow: %v -> %v", w, r.CWND())
+	}
+}
+
+func TestWindowShrinksOnDeepQueue(t *testing.T) {
+	r := New(nil)
+	r.Init(0)
+	// Establish minRTT, then feed 3x inflated RTTs.
+	r.OnAck(cc.Ack{Now: 10 * time.Millisecond, SentAt: 0, RTT: 30 * time.Millisecond, Bytes: 1500})
+	r.cwnd = 100
+	for i := 2; i <= 50; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		r.OnAck(cc.Ack{Now: now, SentAt: now - 90*time.Millisecond, RTT: 90 * time.Millisecond, Bytes: 1500})
+	}
+	if r.CWND() >= 100 {
+		t.Fatalf("window did not shrink on deep queue: %v", r.CWND())
+	}
+}
+
+func TestLossCutCoalesced(t *testing.T) {
+	r := New(nil)
+	r.cwnd = 40
+	r.OnLoss(cc.Loss{Now: time.Second, SentAt: 990 * time.Millisecond})
+	if r.CWND() != 20 {
+		t.Fatalf("post-loss %v, want 20", r.CWND())
+	}
+	r.OnLoss(cc.Loss{Now: 1010 * time.Millisecond, SentAt: 995 * time.Millisecond})
+	if r.CWND() != 20 {
+		t.Fatalf("coalescing failed: %v", r.CWND())
+	}
+}
+
+func TestPacingFromIntersend(t *testing.T) {
+	r := New(nil)
+	if r.PacingRate() != 0 {
+		t.Fatal("zero intersend should be unpaced")
+	}
+	r.intersend = 1 // 1 ms per 1500B packet = 12 Mbit/s
+	if got := r.PacingRate(); got != 12e6 {
+		t.Fatalf("pacing %v, want 12e6", got)
+	}
+}
+
+func TestRemyIdentity(t *testing.T) {
+	if New(nil).Name() != "remy" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,76 @@
+// Package reno implements TCP NewReno-style AIMD congestion control: slow
+// start, congestion avoidance with one-packet-per-RTT growth, and a
+// multiplicative halving on each loss event. It is the AIMD reference whose
+// "large flows yield more" principle Jury's post-processing generalizes
+// (§2.2 of the paper).
+package reno
+
+import (
+	"time"
+
+	"repro/internal/cc"
+)
+
+const (
+	initialWindow = 10
+	minWindow     = 2
+)
+
+// Reno is a NewReno AIMD controller. Construct with New.
+type Reno struct {
+	cwnd     float64
+	ssthresh float64
+	// inRecovery marks a congestion episode: losses of packets sent before
+	// lastLoss belong to the same event, and growth pauses until an ACK for
+	// a post-event packet arrives.
+	inRecovery bool
+	lastLoss   time.Duration
+}
+
+// New returns a Reno controller with the standard initial window.
+func New() *Reno {
+	return &Reno{cwnd: initialWindow, ssthresh: 1e9}
+}
+
+// Name implements cc.Algorithm.
+func (r *Reno) Name() string { return "reno" }
+
+// Init implements cc.Algorithm.
+func (r *Reno) Init(time.Duration) {}
+
+// OnAck implements cc.Algorithm: exponential growth in slow start, additive
+// (1/cwnd per ACK) growth in congestion avoidance.
+func (r *Reno) OnAck(a cc.Ack) {
+	if r.inRecovery && a.SentAt >= r.lastLoss {
+		r.inRecovery = false
+	}
+	if r.inRecovery {
+		return
+	}
+	if r.cwnd < r.ssthresh {
+		r.cwnd++
+	} else {
+		r.cwnd += 1 / r.cwnd
+	}
+}
+
+// OnLoss implements cc.Algorithm. Losses within one recovery episode count
+// as a single congestion event (NewReno's per-window cut).
+func (r *Reno) OnLoss(l cc.Loss) {
+	if r.inRecovery && l.SentAt < r.lastLoss {
+		return
+	}
+	r.inRecovery = true
+	r.lastLoss = l.Now
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < minWindow {
+		r.ssthresh = minWindow
+	}
+	r.cwnd = r.ssthresh
+}
+
+// CWND implements cc.Algorithm.
+func (r *Reno) CWND() float64 { return r.cwnd }
+
+// PacingRate implements cc.Algorithm. Reno is ack-clocked (unpaced).
+func (r *Reno) PacingRate() float64 { return 0 }

@@ -1,0 +1,86 @@
+package reno
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+)
+
+func TestSlowStartDoublesPerRTT(t *testing.T) {
+	r := New()
+	r.Init(0)
+	start := r.CWND()
+	// One window of ACKs in slow start adds one packet per ACK.
+	for i := 0; i < int(start); i++ {
+		r.OnAck(cc.Ack{Now: time.Duration(i) * time.Millisecond, RTT: 30 * time.Millisecond, Bytes: 1500})
+	}
+	if got := r.CWND(); got != 2*start {
+		t.Fatalf("cwnd after one slow-start window: %v, want %v", got, 2*start)
+	}
+}
+
+func TestCongestionAvoidanceLinearGrowth(t *testing.T) {
+	r := New()
+	r.Init(0)
+	// Force CA by inducing a loss.
+	r.OnLoss(cc.Loss{Now: time.Second, SentAt: time.Second})
+	// Exit recovery.
+	r.OnAck(cc.Ack{Now: 2 * time.Second, SentAt: 1500 * time.Millisecond, RTT: 30 * time.Millisecond})
+	w0 := r.CWND()
+	n := int(w0)
+	for i := 0; i < n; i++ {
+		r.OnAck(cc.Ack{Now: 2*time.Second + time.Duration(i)*time.Millisecond, SentAt: 2 * time.Second, RTT: 30 * time.Millisecond})
+	}
+	// One window of ACKs should grow cwnd by ~1 packet.
+	if got := r.CWND(); got < w0+0.8 || got > w0+1.5 {
+		t.Fatalf("CA growth over one window: %v -> %v, want +~1", w0, got)
+	}
+}
+
+func TestLossHalvesWindowOncePerEvent(t *testing.T) {
+	r := New()
+	r.Init(0)
+	for i := 0; i < 54; i++ { // grow to 64
+		r.OnAck(cc.Ack{Now: time.Duration(i) * time.Millisecond, RTT: 30 * time.Millisecond})
+	}
+	w := r.CWND()
+	r.OnLoss(cc.Loss{Now: time.Second, SentAt: 900 * time.Millisecond})
+	if got := r.CWND(); got != w/2 {
+		t.Fatalf("cwnd after loss: %v, want %v", got, w/2)
+	}
+	// A second loss from the same flight (sent before detection) is ignored.
+	r.OnLoss(cc.Loss{Now: 1100 * time.Millisecond, SentAt: 950 * time.Millisecond})
+	if got := r.CWND(); got != w/2 {
+		t.Fatalf("same-event loss cut again: %v, want %v", got, w/2)
+	}
+	// A loss of a packet sent after recovery began is a new event.
+	r.OnAck(cc.Ack{Now: 1200 * time.Millisecond, SentAt: 1050 * time.Millisecond, RTT: 30 * time.Millisecond})
+	r.OnLoss(cc.Loss{Now: 1300 * time.Millisecond, SentAt: 1250 * time.Millisecond})
+	if got := r.CWND(); got >= w/2 {
+		t.Fatalf("new loss event did not cut: %v", got)
+	}
+}
+
+func TestWindowNeverBelowMinimum(t *testing.T) {
+	r := New()
+	r.Init(0)
+	for i := 0; i < 50; i++ {
+		now := time.Duration(i) * time.Second
+		r.OnLoss(cc.Loss{Now: now, SentAt: now - time.Millisecond})
+		r.OnAck(cc.Ack{Now: now + 500*time.Millisecond, SentAt: now + 400*time.Millisecond, RTT: 30 * time.Millisecond})
+	}
+	if r.CWND() < 2 {
+		t.Fatalf("cwnd %v below minimum", r.CWND())
+	}
+}
+
+func TestRenoIsUnpaced(t *testing.T) {
+	r := New()
+	if r.PacingRate() != 0 {
+		t.Fatal("Reno should be ack-clocked")
+	}
+	if r.Name() != "reno" {
+		t.Fatalf("name %q", r.Name())
+	}
+}

@@ -1,0 +1,111 @@
+// Package vegas implements TCP Vegas (Brakmo & Peterson, 1994), the classic
+// delay-based scheme in the paper's baseline set. Vegas keeps the number of
+// packets queued at the bottleneck between alpha and beta by comparing the
+// expected rate (cwnd/baseRTT) with the actual rate (cwnd/RTT).
+package vegas
+
+import (
+	"time"
+
+	"repro/internal/cc"
+)
+
+const (
+	// Alpha and Beta are the queue-occupancy thresholds in packets.
+	Alpha = 2
+	Beta  = 4
+	// Gamma is the slow-start exit threshold.
+	Gamma = 1
+
+	initialWindow = 10
+	minWindow     = 2
+)
+
+// Vegas is a TCP Vegas controller. Construct with New.
+type Vegas struct {
+	cwnd     float64
+	baseRTT  time.Duration
+	inSlow   bool
+	lastAdj  time.Duration // last once-per-RTT adjustment
+	rttSum   time.Duration
+	rttCount int
+
+	inRecovery bool
+	lastLoss   time.Duration
+}
+
+// New returns a Vegas controller in slow start.
+func New() *Vegas {
+	return &Vegas{cwnd: initialWindow, inSlow: true}
+}
+
+// Name implements cc.Algorithm.
+func (v *Vegas) Name() string { return "vegas" }
+
+// Init implements cc.Algorithm.
+func (v *Vegas) Init(time.Duration) {}
+
+// OnAck implements cc.Algorithm. Window adjustments happen once per RTT
+// based on the mean RTT observed during that RTT.
+func (v *Vegas) OnAck(a cc.Ack) {
+	if v.baseRTT == 0 || a.RTT < v.baseRTT {
+		v.baseRTT = a.RTT
+	}
+	if v.inRecovery && a.SentAt >= v.lastLoss {
+		v.inRecovery = false
+	}
+	if v.inRecovery {
+		return
+	}
+	v.rttSum += a.RTT
+	v.rttCount++
+	if v.lastAdj == 0 {
+		v.lastAdj = a.Now
+		return
+	}
+	if a.Now-v.lastAdj < v.baseRTT {
+		return
+	}
+	avgRTT := v.rttSum / time.Duration(v.rttCount)
+	v.rttSum, v.rttCount = 0, 0
+	v.lastAdj = a.Now
+
+	// diff = cwnd · (1 − baseRTT/RTT): packets sitting in the queue.
+	diff := v.cwnd * (1 - v.baseRTT.Seconds()/avgRTT.Seconds())
+	switch {
+	case v.inSlow:
+		if diff > Gamma {
+			v.inSlow = false
+			v.cwnd--
+		} else {
+			v.cwnd *= 2 // slow start doubles every other RTT in Vegas; we double per RTT like practical stacks
+		}
+	case diff < Alpha:
+		v.cwnd++
+	case diff > Beta:
+		v.cwnd--
+	}
+	if v.cwnd < minWindow {
+		v.cwnd = minWindow
+	}
+}
+
+// OnLoss implements cc.Algorithm: Vegas falls back to a Reno-style halving.
+func (v *Vegas) OnLoss(l cc.Loss) {
+	if v.inRecovery && l.SentAt < v.lastLoss {
+		return
+	}
+	v.inRecovery = true
+	v.lastLoss = l.Now
+	v.inSlow = false
+	v.cwnd /= 2
+	if v.cwnd < minWindow {
+		v.cwnd = minWindow
+	}
+}
+
+// CWND implements cc.Algorithm.
+func (v *Vegas) CWND() float64 { return v.cwnd }
+
+// PacingRate implements cc.Algorithm. Vegas is ack-clocked (unpaced).
+func (v *Vegas) PacingRate() float64 { return 0 }

@@ -1,0 +1,112 @@
+package vegas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+)
+
+// feed delivers one "RTT round" of ACKs with the given RTT.
+func feed(v *Vegas, start time.Duration, rtt time.Duration, n int) time.Duration {
+	for i := 0; i < n; i++ {
+		now := start + time.Duration(i)*time.Millisecond
+		v.OnAck(cc.Ack{Now: now, SentAt: now - rtt, RTT: rtt, Bytes: 1500})
+	}
+	return start + time.Duration(n)*time.Millisecond
+}
+
+func TestSlowStartExitsOnQueueBuildup(t *testing.T) {
+	v := New()
+	v.Init(0)
+	base := 30 * time.Millisecond
+	now := feed(v, time.Millisecond, base, 5)
+	w1 := v.CWND()
+	// No queueing: still slow-starting, window grows multiplicatively.
+	now = feed(v, now+base, base, 5)
+	now = feed(v, now+base, base, 5)
+	if v.CWND() <= w1 {
+		t.Fatalf("no slow-start growth: %v -> %v", w1, v.CWND())
+	}
+	// Now RTTs inflate: diff exceeds gamma, slow start must end.
+	grew := v.CWND()
+	now = feed(v, now+base, 2*base, 8)
+	feed(v, now+2*base, 2*base, 8)
+	if v.CWND() > grew {
+		t.Fatalf("kept slow-starting despite queue: %v -> %v", grew, v.CWND())
+	}
+}
+
+func TestHoldsWindowInsideAlphaBeta(t *testing.T) {
+	v := New()
+	v.Init(0)
+	v.inSlow = false
+	v.cwnd = 30
+	base := 30 * time.Millisecond
+	// diff = cwnd(1 − base/RTT) = 30(1−30/33) ≈ 2.7 packets: inside [2,4].
+	rtt := 33 * time.Millisecond
+	now := feed(v, time.Millisecond, base, 3) // establish baseRTT
+	v.cwnd = 30
+	for r := 0; r < 10; r++ {
+		now = feed(v, now+base, rtt, 8)
+	}
+	if v.CWND() < 28 || v.CWND() > 32 {
+		t.Fatalf("window moved out of the alpha-beta band: %v", v.CWND())
+	}
+}
+
+func TestIncreasesWhenDiffBelowAlpha(t *testing.T) {
+	v := New()
+	v.Init(0)
+	v.inSlow = false
+	v.cwnd = 10
+	base := 30 * time.Millisecond
+	now := feed(v, time.Millisecond, base, 3)
+	w := v.CWND()
+	// RTT == baseRTT: diff = 0 < alpha, so the window must climb.
+	for r := 0; r < 8; r++ {
+		now = feed(v, now+base, base, 5)
+	}
+	if v.CWND() <= w {
+		t.Fatalf("no increase with empty queue: %v -> %v", w, v.CWND())
+	}
+}
+
+func TestDecreasesWhenDiffAboveBeta(t *testing.T) {
+	v := New()
+	v.Init(0)
+	v.inSlow = false
+	base := 30 * time.Millisecond
+	now := feed(v, time.Millisecond, base, 3)
+	v.cwnd = 40
+	// diff = 40(1−30/60) = 20 > beta: window must fall.
+	w := v.CWND()
+	for r := 0; r < 8; r++ {
+		now = feed(v, now+base, 2*base, 5)
+	}
+	if v.CWND() >= w {
+		t.Fatalf("no decrease with a deep queue: %v -> %v", w, v.CWND())
+	}
+}
+
+func TestLossHalving(t *testing.T) {
+	v := New()
+	v.Init(0)
+	v.cwnd = 20
+	v.OnLoss(cc.Loss{Now: time.Second, SentAt: 990 * time.Millisecond})
+	if v.CWND() != 10 {
+		t.Fatalf("post-loss cwnd %v, want 10", v.CWND())
+	}
+	// Same-flight loss coalesced.
+	v.OnLoss(cc.Loss{Now: 1010 * time.Millisecond, SentAt: 995 * time.Millisecond})
+	if v.CWND() != 10 {
+		t.Fatalf("coalescing failed: %v", v.CWND())
+	}
+}
+
+func TestVegasIdentity(t *testing.T) {
+	v := New()
+	if v.Name() != "vegas" || v.PacingRate() != 0 {
+		t.Fatal("vegas identity wrong")
+	}
+}

@@ -1,0 +1,285 @@
+// Package vivace implements PCC Vivace (Dong et al., NSDI'18), the online
+// learning baseline: the sender runs paired monitor intervals at rate
+// r·(1±ε), scores each with a latency-gradient utility function, and moves
+// the rate along the utility gradient with confidence amplification. Its
+// control frequency is RTT-bound, which is exactly the slow-convergence
+// behaviour the paper shows in Fig. 7(f) and Fig. 12.
+package vivace
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/simcore"
+)
+
+const (
+	// Utility function constants from the Vivace paper: U(x) = x^Exponent −
+	// B·x·(dRTT/dt) − C·x·L, with x in Mbit/s.
+	Exponent = 0.9
+	B        = 900.0
+	C        = 11.35
+
+	// Epsilon is the probing rate perturbation.
+	Epsilon = 0.05
+
+	tick      = 10 * time.Millisecond
+	minMI     = 50 * time.Millisecond
+	startRate = 2e6 // 2 Mbit/s
+	minRate   = 0.2e6
+	maxConf   = 8
+)
+
+type phase int
+
+const (
+	phaseStarting  phase = iota
+	phaseProbeUp         // measuring r·(1+ε)
+	phaseProbeDown       // measuring r·(1−ε)
+)
+
+// miAgg accumulates one monitor interval.
+type miAgg struct {
+	start      time.Duration
+	ackedBytes int64
+	acked      int64
+	lost       int64
+	firstRTT   time.Duration
+	lastRTT    time.Duration
+}
+
+// Vivace is a PCC Vivace controller. Construct with New.
+type Vivace struct {
+	rate    float64 // base rate, bits/second
+	current float64 // rate actually enforced this MI
+	ph      phase
+
+	mi       miAgg
+	miLen    time.Duration
+	srtt     time.Duration
+	rng      *simcore.RNG
+	upFirst  bool // probe order randomization
+	uUp      float64
+	uPrev    float64
+	havePrev bool
+
+	conf    int // consecutive same-direction moves
+	lastDir int
+}
+
+// New returns a Vivace controller in its STARTING phase.
+func New(seed uint64) *Vivace {
+	return &Vivace{
+		rate:    startRate,
+		current: startRate,
+		ph:      phaseStarting,
+		miLen:   minMI,
+		rng:     simcore.NewRNG(seed),
+	}
+}
+
+// Name implements cc.Algorithm.
+func (v *Vivace) Name() string { return "vivace" }
+
+// Init implements cc.Algorithm.
+func (v *Vivace) Init(now time.Duration) { v.mi.start = now }
+
+// OnAck implements cc.Algorithm (RTT bookkeeping only; control is MI-based).
+func (v *Vivace) OnAck(a cc.Ack) {
+	if v.srtt == 0 {
+		v.srtt = a.RTT
+	} else {
+		v.srtt += (a.RTT - v.srtt) / 8
+	}
+}
+
+// OnLoss implements cc.Algorithm. Loss enters the MI utility, not a direct
+// window cut.
+func (v *Vivace) OnLoss(cc.Loss) {}
+
+// ControlInterval implements cc.IntervalAlgorithm.
+func (v *Vivace) ControlInterval() time.Duration { return tick }
+
+// OnInterval implements cc.IntervalAlgorithm: accumulate the tick into the
+// current monitor interval and close the MI when it has lasted ~2 RTTs.
+//
+// Feedback (ACKs and loss detections) trails the packets that caused it by
+// one RTT, so an MI spans two RTTs and scores only the feedback arriving in
+// its second half — that feedback belongs to this MI's own packets, not to
+// the previous probe's. This per-MI attribution is exactly why PCC schemes
+// need multiple RTTs per decision, the slow-convergence behaviour the paper
+// highlights (Fig. 7(f), Fig. 12).
+func (v *Vivace) OnInterval(s cc.IntervalStats) {
+	v.miLen = 2 * v.srtt
+	if v.miLen < 2*minMI {
+		v.miLen = 2 * minMI
+	}
+	if s.Now-v.mi.start >= v.miLen/2 {
+		v.mi.ackedBytes += s.AckedBytes
+		v.mi.acked += s.AckedPackets
+		v.mi.lost += s.LostPackets
+		if s.AvgRTT > 0 {
+			if v.mi.firstRTT == 0 {
+				v.mi.firstRTT = s.AvgRTT
+			}
+			v.mi.lastRTT = s.AvgRTT
+		}
+	}
+	if s.Now-v.mi.start < v.miLen {
+		return
+	}
+	// Statistical significance: don't score an MI from a handful of
+	// packets unless it has stretched well past its nominal length.
+	if v.mi.acked+v.mi.lost < 20 && s.Now-v.mi.start < 4*v.miLen {
+		return
+	}
+	u := v.utility(s.Now)
+	v.mi = miAgg{start: s.Now}
+	v.step(u)
+}
+
+// utility scores the just-finished MI. Following PCC, the throughput term
+// uses the rate the sender *enforced* during the MI (the decision variable),
+// while the penalty terms use measured loss and latency gradient — measured
+// goodput would add sampling noise larger than the ±ε probe signal.
+func (v *Vivace) utility(now time.Duration) float64 {
+	// Stats were collected over the second half of the MI.
+	dur := (now - v.mi.start).Seconds() / 2
+	if dur <= 0 {
+		dur = v.miLen.Seconds() / 2
+	}
+	xMbps := v.current / 1e6
+	var loss float64
+	if v.mi.acked+v.mi.lost > 0 {
+		loss = float64(v.mi.lost) / float64(v.mi.acked+v.mi.lost)
+	}
+	var dldt float64
+	if v.mi.firstRTT > 0 && v.mi.lastRTT > v.mi.firstRTT {
+		dldt = (v.mi.lastRTT - v.mi.firstRTT).Seconds() / dur
+	}
+	// Latency-gradient noise filter (Vivace §4.2): transient jitter of a few
+	// packets would otherwise dominate the utility via the B·x·dldt term.
+	if dldt < 0.02 {
+		dldt = 0
+	}
+	return utilityFn(xMbps, dldt, loss)
+}
+
+// utilityFn is the Vivace utility (exported via Utility for tests).
+func utilityFn(xMbps, dldt, loss float64) float64 {
+	if xMbps <= 0 {
+		return 0
+	}
+	return math.Pow(xMbps, Exponent) - B*xMbps*dldt - C*xMbps*loss
+}
+
+// Utility exposes the utility function for tests and analysis.
+func Utility(xMbps, dldt, loss float64) float64 { return utilityFn(xMbps, dldt, loss) }
+
+// step advances the PCC state machine with the utility of the closed MI.
+func (v *Vivace) step(u float64) {
+	switch v.ph {
+	case phaseStarting:
+		// A 5% margin keeps low-packet-count utility noise from aborting
+		// startup prematurely.
+		if !v.havePrev || u >= v.uPrev-0.05*absf(v.uPrev) {
+			v.havePrev = true
+			if u > v.uPrev {
+				v.uPrev = u
+			}
+			v.rate *= 2
+			v.current = v.rate
+			return
+		}
+		// Utility dropped: undo the last doubling and start probing.
+		v.rate /= 2
+		v.ph = phaseProbeUp
+		v.upFirst = v.rng.Bernoulli(0.5)
+		v.current = v.probeRate(true)
+	case phaseProbeUp:
+		v.uUp = u
+		v.ph = phaseProbeDown
+		v.current = v.probeRate(false)
+	case phaseProbeDown:
+		uDown := u
+		uUp := v.uUp
+		if !v.upFirst {
+			// The "up" MI actually ran second; swap the scores.
+			uUp, uDown = uDown, uUp
+		}
+		v.move(uUp, uDown)
+		v.ph = phaseProbeUp
+		v.upFirst = v.rng.Bernoulli(0.5)
+		v.current = v.probeRate(true)
+	}
+}
+
+// probeRate returns the rate for the next probe MI, honouring the random
+// up/down ordering.
+func (v *Vivace) probeRate(firstOfPair bool) float64 {
+	up := firstOfPair == v.upFirst
+	if up {
+		return v.rate * (1 + Epsilon)
+	}
+	return v.rate * (1 - Epsilon)
+}
+
+// move applies one gradient step with confidence amplification and the
+// swing bound ω from the Vivace paper.
+func (v *Vivace) move(uUp, uDown float64) {
+	gamma := (uUp - uDown) / (2 * Epsilon * v.rate / 1e6) // utility per Mbps
+	dir := 1
+	if gamma < 0 {
+		dir = -1
+	}
+	if dir == v.lastDir {
+		if v.conf < maxConf {
+			v.conf++
+		}
+	} else {
+		v.conf = 0
+	}
+	v.lastDir = dir
+
+	// Rate-proportional step gain so convergence speed is scale-free, with
+	// confidence amplification; the swing bound ω caps the per-step change.
+	theta := 0.02 * v.rate * float64(v.conf+1)
+	delta := theta * gamma
+	omega := 0.05 + 0.02*float64(v.conf)
+	if omega > 0.3 {
+		omega = 0.3
+	}
+	delta = cc.Clamp(delta, -omega*v.rate, omega*v.rate)
+	v.rate += delta
+	if v.rate < minRate {
+		v.rate = minRate
+	}
+}
+
+// absf is math.Abs without shadowing concerns in hot paths.
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// CWND implements cc.Algorithm: a loose bound of 2 rate·RTT so the flow is
+// rate-limited, not window-limited.
+func (v *Vivace) CWND() float64 {
+	if v.srtt == 0 {
+		return 100
+	}
+	w := 2 * v.current * v.srtt.Seconds() / 8 / 1500
+	if w < 10 {
+		w = 10
+	}
+	return w
+}
+
+// PacingRate implements cc.Algorithm.
+func (v *Vivace) PacingRate() float64 { return v.current }
+
+// Rate exposes the base (unperturbed) rate for tests.
+func (v *Vivace) Rate() float64 { return v.rate }

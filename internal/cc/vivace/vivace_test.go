@@ -1,0 +1,151 @@
+package vivace
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+)
+
+func TestUtilityShape(t *testing.T) {
+	// More throughput is better, all else equal.
+	if Utility(10, 0, 0) <= Utility(5, 0, 0) {
+		t.Fatal("utility not increasing in throughput")
+	}
+	// Latency growth and loss are penalized.
+	if Utility(10, 0.1, 0) >= Utility(10, 0, 0) {
+		t.Fatal("latency gradient not penalized")
+	}
+	if Utility(10, 0, 0.05) >= Utility(10, 0, 0) {
+		t.Fatal("loss not penalized")
+	}
+	// Concavity (diminishing returns): the Vivace fairness argument rests
+	// on the throughput term being strictly concave.
+	d1 := Utility(11, 0, 0) - Utility(10, 0, 0)
+	d2 := Utility(101, 0, 0) - Utility(100, 0, 0)
+	if d2 >= d1 {
+		t.Fatal("throughput term not concave")
+	}
+	if Utility(0, 0, 0) != 0 {
+		t.Fatal("zero throughput utility not 0")
+	}
+}
+
+// tickStats builds one 10ms tick worth of stats for a delivery rate.
+func tickStats(now time.Duration, rate float64, rtt time.Duration, lost int64) cc.IntervalStats {
+	bytes := int64(rate / 8 * 0.010)
+	return cc.IntervalStats{
+		Now:          now,
+		Interval:     tick,
+		AckedBytes:   bytes,
+		AckedPackets: bytes / 1500,
+		LostPackets:  lost,
+		AvgRTT:       rtt,
+		MinRTT:       rtt,
+		FlowMinRTT:   rtt,
+	}
+}
+
+// runMIs drives the controller through wall-clock dur where the network
+// delivers min(sendRate, capacity) with RTT inflation when overloaded.
+func runMIs(v *Vivace, start, dur time.Duration, capacity float64, baseRTT time.Duration) time.Duration {
+	now := start
+	for ; now < start+dur; now += tick {
+		sendRate := v.PacingRate()
+		delivered := math.Min(sendRate, capacity)
+		rtt := baseRTT
+		var lost int64
+		if sendRate > capacity {
+			over := (sendRate - capacity) / capacity
+			rtt = baseRTT + time.Duration(over*float64(20*time.Millisecond))
+			lost = int64(over * 10)
+		}
+		// Feed an RTT sample so the MI length tracks srtt.
+		v.OnAck(cc.Ack{Now: now, SentAt: now - rtt, RTT: rtt, Bytes: 1500})
+		v.OnInterval(tickStats(now, delivered, rtt, lost))
+	}
+	return now
+}
+
+func TestStartingPhaseDoublesRate(t *testing.T) {
+	v := New(1)
+	v.Init(0)
+	r0 := v.Rate()
+	// Huge capacity: utility keeps rising, rate keeps doubling.
+	runMIs(v, tick, 2*time.Second, 1e9, 30*time.Millisecond)
+	if v.Rate() < 8*r0 {
+		t.Fatalf("starting phase grew %v -> %v, want ≥8x", r0, v.Rate())
+	}
+}
+
+func TestConvergesNearCapacity(t *testing.T) {
+	v := New(2)
+	v.Init(0)
+	runMIs(v, tick, 30*time.Second, 50e6, 30*time.Millisecond)
+	r := v.Rate()
+	if r < 30e6 || r > 70e6 {
+		t.Fatalf("rate %v after 30s on a 50 Mbps link", r)
+	}
+}
+
+func TestProbingAlternatesAroundBaseRate(t *testing.T) {
+	v := New(3)
+	v.Init(0)
+	now := runMIs(v, tick, 10*time.Second, 20e6, 30*time.Millisecond)
+	if v.ph == phaseStarting {
+		t.Fatal("still in STARTING after 10s of congestion feedback")
+	}
+	// Collect enforced rates over a few MIs: they must straddle the base.
+	seenAbove, seenBelow := false, false
+	for i := 0; i < 40; i++ {
+		base := v.Rate()
+		if v.PacingRate() > base {
+			seenAbove = true
+		}
+		if v.PacingRate() < base {
+			seenBelow = true
+		}
+		now = runMIs(v, now, 100*time.Millisecond, 20e6, 30*time.Millisecond)
+	}
+	if !seenAbove || !seenBelow {
+		t.Fatalf("probing did not perturb in both directions (above=%v below=%v)", seenAbove, seenBelow)
+	}
+}
+
+func TestRateFloor(t *testing.T) {
+	v := New(4)
+	v.Init(0)
+	// Pathological feedback: everything lost.
+	now := tick
+	for i := 0; i < 3000; i++ {
+		v.OnAck(cc.Ack{Now: now, SentAt: now - 100*time.Millisecond, RTT: 100 * time.Millisecond, Bytes: 1500})
+		v.OnInterval(cc.IntervalStats{Now: now, Interval: tick, LostPackets: 20, AvgRTT: 100 * time.Millisecond})
+		now += tick
+	}
+	if v.Rate() < minRate {
+		t.Fatalf("rate %v fell below floor %v", v.Rate(), float64(minRate))
+	}
+}
+
+func TestMILengthTracksRTT(t *testing.T) {
+	v := New(5)
+	v.Init(0)
+	runMIs(v, tick, time.Second, 1e9, 200*time.Millisecond)
+	if v.miLen < 150*time.Millisecond {
+		t.Fatalf("MI length %v does not track the 200ms RTT", v.miLen)
+	}
+}
+
+func TestVivaceIdentity(t *testing.T) {
+	v := New(0)
+	if v.Name() != "vivace" {
+		t.Fatal("name wrong")
+	}
+	if v.ControlInterval() != tick {
+		t.Fatal("control interval wrong")
+	}
+	if v.CWND() < 10 {
+		t.Fatal("cwnd floor missing")
+	}
+}

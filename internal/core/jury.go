@@ -1,0 +1,232 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/simcore"
+)
+
+// Jury is the full controller: signal transformation → policy decision
+// range → occupancy post-processing → multiplicative cwnd/pacing update.
+// It implements cc.IntervalAlgorithm and can run against any policy — a
+// trained actor (NNPolicy), the deterministic ReferencePolicy, or a
+// training harness (capturedPolicy via NewTrainable).
+type Jury struct {
+	cfg    Config
+	policy Policy
+	rng    *simcore.RNG
+
+	transformer *Transformer
+	occ         *OccupancyEstimator
+
+	cwnd   float64
+	pacing float64
+	mss    float64
+
+	minRTT      time.Duration
+	lossMin     float64
+	haveLossMin bool
+	lastGrowAt  time.Duration
+
+	// Introspection for training, experiments, and tests.
+	lastSignals Signals
+	lastState   []float64
+	lastMu      float64
+	lastDelta   float64
+	lastAction  float64
+	lastReward  float64
+	lastOcc     float64
+	intervals   int64
+}
+
+// New returns a Jury controller with the given configuration and policy.
+// It panics on an invalid config (a programming error, not runtime input).
+func New(cfg Config, policy Policy) *Jury {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if policy == nil {
+		policy = NewReferencePolicy()
+	}
+	return &Jury{
+		cfg:         cfg,
+		policy:      policy,
+		rng:         simcore.NewRNG(cfg.Seed ^ 0xa5a5a5a5),
+		transformer: NewTransformer(cfg),
+		occ:         NewOccupancyEstimator(cfg),
+		cwnd:        10,
+		mss:         1500,
+	}
+}
+
+// NewDefault returns a Jury controller with Table 2 hyperparameters and the
+// reference policy, seeded for the given flow.
+func NewDefault(seed uint64) *Jury {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	return New(cfg, NewReferencePolicy())
+}
+
+// Name implements cc.Algorithm.
+func (j *Jury) Name() string { return "jury" }
+
+// Init implements cc.Algorithm.
+func (j *Jury) Init(time.Duration) {}
+
+// OnAck implements cc.Algorithm (Jury is interval-driven; per-ACK state is
+// aggregated by the sender).
+func (j *Jury) OnAck(a cc.Ack) {
+	if a.Bytes > 0 {
+		j.mss = float64(a.Bytes)
+	}
+}
+
+// OnLoss implements cc.Algorithm (losses enter via interval statistics).
+func (j *Jury) OnLoss(cc.Loss) {}
+
+// ControlInterval implements cc.IntervalAlgorithm.
+func (j *Jury) ControlInterval() time.Duration { return j.cfg.Interval }
+
+// OnInterval implements cc.IntervalAlgorithm: one full pass of the Fig. 2
+// pipeline.
+func (j *Jury) OnInterval(s cc.IntervalStats) {
+	j.intervals++
+	if s.FlowMinRTT > 0 {
+		j.minRTT = s.FlowMinRTT
+	}
+	loss := s.LossRate()
+	if s.AckedPackets+s.LostPackets > 0 {
+		if !j.haveLossMin || loss < j.lossMin {
+			j.lossMin = loss
+			j.haveLossMin = true
+		}
+	}
+
+	sig := j.transformer.Update(s)
+	j.lastSignals = sig
+	j.lastOcc = j.occ.Update(sig)
+
+	switch {
+	case s.AckedPackets == 0 && s.LostPackets > 0:
+		// Blackout under loss: everything sent in the interval died. Back
+		// off maximally rather than consulting a model with no signal.
+		j.applyAction(-1)
+	case s.AckedPackets < j.cfg.MinIntervalPackets && s.LostPackets > 0:
+		// Too few samples to trust the model, and losses present: retreat.
+		j.applyAction(-1)
+	case s.AckedPackets < j.cfg.MinIntervalPackets:
+		// Statistics-significance rule (§3.4): too few samples for a
+		// reliable decision — keep maximally increasing the sending rate.
+		// This doubles as the slow-start phase and lets short flows skip
+		// model inference entirely.
+		j.slowStartStep(s)
+	default:
+		state := j.transformer.State()
+		j.lastState = state
+		mu, delta := j.policy.Decide(state)
+		j.lastMu, j.lastDelta = mu, delta
+		a := PostProcess(mu, delta, j.lastOcc)
+		a = j.exploreAction(a)
+		j.applyAction(a)
+	}
+
+	j.updatePacing(s)
+	j.lastReward = Reward(j.cfg, j.lastOcc, s.AvgRTT, j.minRTT, loss, j.lossMin)
+}
+
+// PostProcess implements Eq. 6: pick the action inside the decision range
+// according to the flow's bandwidth occupancy, clamped to [−1, 1].
+func PostProcess(mu, delta, ratioBW float64) float64 {
+	return cc.Clamp(mu+(1-2*ratioBW)*delta, -1, 1)
+}
+
+// exploreAction implements the §3.4 exploration rule: near-zero actions are
+// replaced, with probability ExploreProb, by ±1 with equal probability so
+// the action-feedback signals keep carrying information while the
+// expectation stays unchanged.
+func (j *Jury) exploreAction(a float64) float64 {
+	if a > j.cfg.ExploreLow && a < j.cfg.ExploreHigh && j.rng.Bernoulli(j.cfg.ExploreProb) {
+		if j.rng.Bernoulli(0.5) {
+			return 1
+		}
+		return -1
+	}
+	return a
+}
+
+// applyAction implements Eq. 7, the multiplicative window update.
+func (j *Jury) applyAction(a float64) {
+	j.lastAction = a
+	if a >= 0 {
+		j.cwnd *= 1 + j.cfg.Alpha*a
+	} else {
+		j.cwnd /= 1 - j.cfg.Alpha*a
+	}
+	if j.cwnd < j.cfg.MinCwnd {
+		j.cwnd = j.cfg.MinCwnd
+	}
+}
+
+// slowStartStep doubles the window while the flow is too small to produce
+// significant statistics — at most once per round trip, like TCP slow
+// start: feedback lags by an RTT, so doubling any faster overshoots
+// blindly.
+func (j *Jury) slowStartStep(s cc.IntervalStats) {
+	period := j.cfg.Interval
+	if j.minRTT > period {
+		period = j.minRTT
+	}
+	if s.Now-j.lastGrowAt < period {
+		return
+	}
+	j.lastGrowAt = s.Now
+	j.lastAction = 1
+	j.cwnd *= 2
+	const maxCwnd = 1 << 17
+	if j.cwnd > maxCwnd {
+		j.cwnd = maxCwnd
+	}
+}
+
+// updatePacing implements Eq. 8: x = cwnd / RTT, using the mean RTT of the
+// last interval (falling back to the flow minimum before feedback exists).
+func (j *Jury) updatePacing(s cc.IntervalStats) {
+	rtt := s.AvgRTT
+	if rtt == 0 {
+		rtt = j.minRTT
+	}
+	if rtt == 0 {
+		return // no RTT sample yet: stay cwnd-limited and unpaced
+	}
+	j.pacing = j.cwnd * j.mss * 8 / rtt.Seconds()
+}
+
+// CWND implements cc.Algorithm.
+func (j *Jury) CWND() float64 { return j.cwnd }
+
+// PacingRate implements cc.Algorithm.
+func (j *Jury) PacingRate() float64 { return j.pacing }
+
+// Introspection accessors (used by training, experiments, and tests).
+
+// LastState returns the most recent policy input (nil before ready).
+func (j *Jury) LastState() []float64 { return j.lastState }
+
+// LastRange returns the most recent decision range (μ, δ).
+func (j *Jury) LastRange() (float64, float64) { return j.lastMu, j.lastDelta }
+
+// LastAction returns the most recent post-processed action.
+func (j *Jury) LastAction() float64 { return j.lastAction }
+
+// LastReward returns the most recent Eq. 9 reward.
+func (j *Jury) LastReward() float64 { return j.lastReward }
+
+// Occupancy returns the current filtered bandwidth-occupancy estimate.
+func (j *Jury) Occupancy() float64 { return j.lastOcc }
+
+// Signals returns the most recent transformed signals.
+func (j *Jury) Signals() Signals { return j.lastSignals }
+
+// Intervals returns how many control intervals have elapsed.
+func (j *Jury) Intervals() int64 { return j.intervals }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cc"
+)
+
+// This file implements the multi-objective extension the paper points to in
+// §3.3: "MOCC [24] provides a multi-objective DRL-based CC framework that
+// can adapt to different preferences simultaneously without retraining,
+// which can be adopted in our method." Following MOCC, a preference vector
+// weights the throughput/delay/loss objectives; the preference conditions
+// both the reward (for training) and, for the deterministic reference
+// policy, the response gains (for deployment without retraining). Jury's
+// fairness is unaffected either way: the occupancy post-processing runs
+// outside the preference-conditioned part.
+
+// Preference weights the three CC objectives. Weights are relative; use
+// Normalize to scale them to sum 1.
+type Preference struct {
+	Throughput float64
+	Delay      float64
+	Loss       float64
+}
+
+// DefaultPreference is the uniform preference, under which MOReward reduces
+// exactly to the Eq. 9 reward.
+func DefaultPreference() Preference {
+	return Preference{Throughput: 1.0 / 3, Delay: 1.0 / 3, Loss: 1.0 / 3}
+}
+
+// Normalize returns the preference scaled to sum to 1. A non-positive sum
+// yields the uniform preference.
+func (p Preference) Normalize() Preference {
+	t, d, l := math.Max(p.Throughput, 0), math.Max(p.Delay, 0), math.Max(p.Loss, 0)
+	sum := t + d + l
+	if sum <= 0 {
+		return DefaultPreference()
+	}
+	return Preference{Throughput: t / sum, Delay: d / sum, Loss: l / sum}
+}
+
+// MOReward is the preference-weighted generalization of Eq. 9:
+//
+//	R = 3w_T·ratio^ζ − ratio·(3w_D·β1·(RTT−RTT_min) − 3w_L·β2·(1−L)/(1−L_min))
+//
+// The factor 3 makes the uniform preference reproduce Eq. 9 exactly, so a
+// preference-conditioned agent trained with MOReward subsumes the paper's
+// single-objective agent.
+func MOReward(cfg Config, pref Preference, ratioBW float64, rtt, rttMin time.Duration, loss, lossMin float64) float64 {
+	p := pref.Normalize()
+	if ratioBW < 0 {
+		ratioBW = 0
+	}
+	if ratioBW > 1 {
+		ratioBW = 1
+	}
+	drttUS := float64(rtt-rttMin) / float64(time.Microsecond)
+	if drttUS < 0 {
+		drttUS = 0
+	}
+	lossTerm := (1 - clampLoss(loss)) / (1 - clampLoss(lossMin))
+	return 3*p.Throughput*math.Pow(ratioBW, cfg.Zeta) -
+		ratioBW*(3*p.Delay*cfg.Beta1*drttUS-3*p.Loss*cfg.Beta2*lossTerm)
+}
+
+// NewPreferencePolicy returns a reference policy whose gains realize the
+// given preference, the deployment-side counterpart of MOReward for the
+// non-learned policy:
+//
+//   - the delay weight scales the ΔRTT response (and shrinks its dead band),
+//     so delay-heavy preferences back off earlier and harder;
+//   - the loss weight scales the loss response;
+//   - the throughput weight scales the probe magnitude — with ProbeGain and
+//     Delta kept equal so the μ=δ hold-at-fair-share calibration (and hence
+//     the fairness guarantee) is preserved for every preference.
+func NewPreferencePolicy(pref Preference) *ReferencePolicy {
+	p := pref.Normalize()
+	base := NewReferencePolicy()
+	wT, wD, wL := 3*p.Throughput, 3*p.Delay, 3*p.Loss
+
+	probe := cc.Clamp(base.ProbeGain*math.Sqrt(wT), 0.15, 0.9)
+	return &ReferencePolicy{
+		ProbeGain: probe,
+		Delta:     probe, // μ=δ calibration: fairness is preference-independent
+		RTTGain:   base.RTTGain * wD,
+		RTTEps:    cc.Clamp(base.RTTEps/math.Max(wD, 0.25), 0.005, 0.08),
+		LossGain:  base.LossGain * wL,
+	}
+}
+
+// NewWithPreference builds a Jury controller realizing the preference.
+func NewWithPreference(cfg Config, pref Preference) *Jury {
+	return New(cfg, NewPreferencePolicy(pref))
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPreferenceNormalize(t *testing.T) {
+	p := Preference{Throughput: 2, Delay: 1, Loss: 1}.Normalize()
+	if math.Abs(p.Throughput-0.5) > 1e-12 || math.Abs(p.Delay-0.25) > 1e-12 {
+		t.Fatalf("normalized %+v", p)
+	}
+	if got := (Preference{}).Normalize(); got != DefaultPreference() {
+		t.Fatalf("zero preference normalized to %+v", got)
+	}
+	if got := (Preference{Throughput: -1, Delay: -2}).Normalize(); got != DefaultPreference() {
+		t.Fatalf("negative preference normalized to %+v", got)
+	}
+}
+
+func TestMORewardReducesToEq9AtUniform(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := quick.Check(func(rRaw, qRaw, lRaw float64) bool {
+		ratio := math.Abs(math.Mod(rRaw, 1))
+		queueMS := math.Abs(math.Mod(qRaw, 50))
+		loss := math.Abs(math.Mod(lRaw, 0.1))
+		rtt := 30*time.Millisecond + time.Duration(queueMS*float64(time.Millisecond))
+		a := Reward(cfg, ratio, rtt, 30*time.Millisecond, loss, 0)
+		b := MOReward(cfg, DefaultPreference(), ratio, rtt, 30*time.Millisecond, loss, 0)
+		return math.Abs(a-b) < 1e-9*(1+math.Abs(a))
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMORewardPreferenceDirections(t *testing.T) {
+	cfg := DefaultConfig()
+	base := 30 * time.Millisecond
+	queued := base + 30*time.Millisecond
+	delayPref := Preference{Throughput: 0.2, Delay: 0.7, Loss: 0.1}
+	thrPref := Preference{Throughput: 0.7, Delay: 0.2, Loss: 0.1}
+
+	// The delay-heavy preference penalizes the same queue more.
+	dPenalty := MOReward(cfg, delayPref, 0.8, base, base, 0, 0) - MOReward(cfg, delayPref, 0.8, queued, base, 0, 0)
+	tPenalty := MOReward(cfg, thrPref, 0.8, base, base, 0, 0) - MOReward(cfg, thrPref, 0.8, queued, base, 0, 0)
+	if dPenalty <= tPenalty {
+		t.Fatalf("delay preference penalty %v not above throughput preference %v", dPenalty, tPenalty)
+	}
+	// The throughput-heavy preference rewards the same occupancy gain more.
+	dGain := MOReward(cfg, delayPref, 0.8, base, base, 0, 0) - MOReward(cfg, delayPref, 0.4, base, base, 0, 0)
+	tGain := MOReward(cfg, thrPref, 0.8, base, base, 0, 0) - MOReward(cfg, thrPref, 0.4, base, base, 0, 0)
+	if tGain <= dGain {
+		t.Fatalf("throughput preference gain %v not above delay preference %v", tGain, dGain)
+	}
+}
+
+func TestPreferencePolicyKeepsFairnessCalibration(t *testing.T) {
+	// μ=δ must hold for every preference: a sole flow at its fair share
+	// holds steady under flat signals regardless of the preference.
+	for _, pref := range []Preference{
+		DefaultPreference(),
+		{Throughput: 0.8, Delay: 0.1, Loss: 0.1},
+		{Throughput: 0.1, Delay: 0.8, Loss: 0.1},
+		{Throughput: 0.1, Delay: 0.1, Loss: 0.8},
+	} {
+		p := NewPreferencePolicy(pref)
+		mu, delta := p.Decide(make([]float64, DefaultConfig().StateDim()))
+		if mu != delta {
+			t.Fatalf("preference %+v broke μ=δ: %v vs %v", pref, mu, delta)
+		}
+		if a := PostProcess(mu, delta, 1); math.Abs(a) > 1e-12 {
+			t.Fatalf("preference %+v: sole flow acts %v at flat signals", pref, a)
+		}
+	}
+}
+
+func TestPreferencePolicyGainShapes(t *testing.T) {
+	delayP := NewPreferencePolicy(Preference{Throughput: 0.1, Delay: 0.8, Loss: 0.1})
+	thrP := NewPreferencePolicy(Preference{Throughput: 0.8, Delay: 0.1, Loss: 0.1})
+	if delayP.RTTGain <= thrP.RTTGain {
+		t.Fatal("delay preference did not raise the RTT gain")
+	}
+	if delayP.RTTEps >= thrP.RTTEps {
+		t.Fatal("delay preference did not tighten the RTT dead band")
+	}
+	if thrP.ProbeGain <= delayP.ProbeGain {
+		t.Fatal("throughput preference did not raise the probe gain")
+	}
+}
+
+func TestNewWithPreferenceBuildsController(t *testing.T) {
+	j := NewWithPreference(DefaultConfig(), Preference{Delay: 1})
+	if j.Name() != "jury" {
+		t.Fatal("controller broken")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cc"
+)
+
+// EstimateOccupancy inverts Eq. 4 to recover a flow's share of the
+// bottleneck capacity from one (rate change, throughput change) pair:
+//
+//	ratio_bw = (a − thrRatio) / (thrRatio · (a − 1))     (Eq. 5)
+//
+// where a = x_t/x_{t−1} is the enforced multiplicative rate change and
+// thrRatio = thr_t/thr_{t−1} the observed throughput response. The second
+// return value is false when the pair is uninformative: a ≈ 1 (no probe —
+// the formula is 0/0) or a non-positive throughput ratio.
+func EstimateOccupancy(rateChange, thrRatio float64) (float64, bool) {
+	const probeEps = 5e-3
+	if math.Abs(rateChange-1) < probeEps || thrRatio <= 0 {
+		return 0, false
+	}
+	est := (rateChange - thrRatio) / (thrRatio * (rateChange - 1))
+	if math.IsNaN(est) || math.IsInf(est, 0) {
+		return 0, false
+	}
+	return est, true
+}
+
+// OccupancyEstimator maintains the filtered bandwidth-occupancy estimate of
+// §3.4. Linearizing Eq. 4 around a → 1 gives
+//
+//	d ln(thr) / d ln(x) = 1 − ratio_bw,
+//
+// so the estimator regresses y = Δln(throughput) on x = Δln(sending rate)
+// over a sliding window and reports ratio = 1 − Σxy/Σx². This is exactly the
+// probe-magnitude-weighted average of per-interval Eq. 5 samples (weights
+// x², i.e. larger rate swings count quadratically more), which simultaneously
+// implements the paper's moving-average smoothing and outlier damping, and
+// it turns the sender's own stochastic rate fluctuations into additional
+// probes: when the bottleneck is underutilized the throughput tracks the
+// rate exactly (slope 1 → ratio 0), when the flow holds the whole bottleneck
+// the throughput ignores the rate (slope 0 → ratio 1), and under
+// proportional sharing the slope is 1 − share exactly (Eq. 4).
+type OccupancyEstimator struct {
+	cfg  Config
+	xs   []float64
+	ys   []float64
+	next int
+	n    int
+}
+
+// NewOccupancyEstimator returns an estimator seeded as a "small flow": with
+// no information Jury behaves aggressively, which doubles as startup probing.
+func NewOccupancyEstimator(cfg Config) *OccupancyEstimator {
+	return &OccupancyEstimator{
+		cfg: cfg,
+		xs:  make([]float64, cfg.OccupancyWindow),
+		ys:  make([]float64, cfg.OccupancyWindow),
+	}
+}
+
+// Update folds one interval's signals in and returns the filtered estimate.
+func (e *OccupancyEstimator) Update(sig Signals) float64 {
+	if !sig.Valid || sig.RateChange <= 0 || sig.ThrChange <= 0 {
+		return e.Value()
+	}
+	x := math.Log(sig.RateChange)
+	y := math.Log(sig.ThrChange)
+	// Outlier bound: discard pathological swings (> 4x in one interval).
+	if math.Abs(x) > 1.4 || math.Abs(y) > 1.4 {
+		return e.Value()
+	}
+	e.xs[e.next] = x
+	e.ys[e.next] = y
+	e.next = (e.next + 1) % len(e.xs)
+	if e.n < len(e.xs) {
+		e.n++
+	}
+	return e.Value()
+}
+
+// Value reports the current filtered estimate; before any informative
+// sample it reports the aggressive-side floor.
+func (e *OccupancyEstimator) Value() float64 {
+	var sxx, sxy float64
+	for i := 0; i < e.n; i++ {
+		sxx += e.xs[i] * e.xs[i]
+		sxy += e.xs[i] * e.ys[i]
+	}
+	if sxx < 1e-8 {
+		return e.cfg.OccupancyMin
+	}
+	return cc.Clamp(1-sxy/sxx, e.cfg.OccupancyMin, e.cfg.OccupancyMax)
+}
+
+// Samples reports how many informative samples the filter holds.
+func (e *OccupancyEstimator) Samples() int { return e.n }

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// Reward computes Eq. 9:
+//
+//	R = ratio_bw^ζ − ratio_bw · (β1·(RTT−RTT_min) − β2·(1−L)/(1−L_min))
+//
+// with the RTT difference measured in microseconds (so β1 = 1e-5 weights a
+// 10 ms queue as 0.1). The throughput term is concave in the occupancy
+// (0 < ζ < 1), which rewards small flows more per unit of growth, and the
+// penalty terms scale with the occupancy so large flows bear more of the
+// responsibility for congestion (§3.3).
+func Reward(cfg Config, ratioBW float64, rtt, rttMin time.Duration, loss, lossMin float64) float64 {
+	if ratioBW < 0 {
+		ratioBW = 0
+	}
+	if ratioBW > 1 {
+		ratioBW = 1
+	}
+	drttUS := float64(rtt-rttMin) / float64(time.Microsecond)
+	if drttUS < 0 {
+		drttUS = 0
+	}
+	lossTerm := (1 - clampLoss(loss)) / (1 - clampLoss(lossMin))
+	return math.Pow(ratioBW, cfg.Zeta) - ratioBW*(cfg.Beta1*drttUS-cfg.Beta2*lossTerm)
+}

@@ -1,0 +1,151 @@
+// Package exp is the experiment harness: it maps every table and figure of
+// the paper's evaluation (§5) to a runnable experiment over the emulator,
+// with typed result rows. Each experiment accepts an options struct whose
+// zero value reproduces a scaled-down but shape-faithful version of the
+// paper's setup (this repository runs on a single CPU, whereas the paper
+// used a testbed; see DESIGN.md); crank the fields up for full scale.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/cc/astraea"
+	"repro/internal/cc/aurora"
+	"repro/internal/cc/bbr"
+	"repro/internal/cc/copa"
+	"repro/internal/cc/cubic"
+	"repro/internal/cc/orca"
+	"repro/internal/cc/remy"
+	"repro/internal/cc/reno"
+	"repro/internal/cc/vegas"
+	"repro/internal/cc/vivace"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/traces"
+)
+
+// Schemes lists every congestion-control scheme the harness can run.
+var Schemes = []string{
+	"jury", "astraea", "orca", "aurora", "vivace",
+	"bbr", "cubic", "vegas", "reno", "copa", "remy",
+}
+
+// Fig6Schemes is the baseline set of the fairness comparison (Fig. 6).
+var Fig6Schemes = []string{"jury", "astraea", "orca", "aurora", "vivace", "bbr", "cubic", "vegas"}
+
+// NewScheme constructs a controller by name. Each flow gets its own seed so
+// stochastic components (exploration, probing order) are independent.
+func NewScheme(name string, seed uint64) (cc.Algorithm, error) {
+	switch name {
+	case "jury":
+		return core.NewDefault(seed), nil
+	case "astraea":
+		cfg := astraea.DefaultConfig()
+		cfg.Seed = seed
+		return astraea.New(cfg, nil), nil
+	case "orca":
+		cfg := orca.DefaultConfig()
+		cfg.Seed = seed
+		return orca.New(cfg, nil), nil
+	case "aurora":
+		cfg := aurora.DefaultConfig()
+		cfg.Seed = seed
+		return aurora.New(cfg, nil), nil
+	case "vivace":
+		return vivace.New(seed), nil
+	case "bbr":
+		return bbr.New(), nil
+	case "cubic":
+		return cubic.New(), nil
+	case "vegas":
+		return vegas.New(), nil
+	case "reno":
+		return reno.New(), nil
+	case "copa":
+		return copa.New(), nil
+	case "remy":
+		return remy.New(nil), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown scheme %q", name)
+	}
+}
+
+// FlowSpec describes one flow of a scenario.
+type FlowSpec struct {
+	Scheme      string
+	Start       time.Duration
+	Duration    time.Duration // 0 = until horizon
+	ExtraOneWay time.Duration
+}
+
+// Scenario is a single-bottleneck dumbbell setup.
+type Scenario struct {
+	Name        string
+	Rate        float64      // bits/second (ignored if Trace set)
+	Trace       traces.Trace // optional time-varying capacity
+	OneWayDelay time.Duration
+	BufferBytes int
+	LossRate    float64
+	PacketSize  int // 0 = default MSS; raise for ≥1 Gbps runs
+	Flows       []FlowSpec
+	Horizon     time.Duration
+	Seed        uint64
+}
+
+// BufferBDP returns the byte size of n bandwidth-delay products for the
+// scenario's rate and round-trip time.
+func (s Scenario) BufferBDP(n float64) int {
+	return int(n * s.Rate / 8 * (2 * s.OneWayDelay).Seconds())
+}
+
+// RunResult holds everything the figure runners need from one simulation.
+type RunResult struct {
+	Scenario    Scenario
+	Flows       []*netsim.Flow
+	Link        *netsim.Link
+	Utilization float64
+}
+
+// Run executes a scenario.
+func Run(s Scenario) (*RunResult, error) {
+	if s.Horizon <= 0 {
+		return nil, fmt.Errorf("exp: scenario %q without horizon", s.Name)
+	}
+	n := netsim.New(netsim.Config{Seed: s.Seed})
+	link := n.AddLink(netsim.LinkConfig{
+		Rate:        s.Rate,
+		Trace:       s.Trace,
+		Delay:       s.OneWayDelay,
+		BufferBytes: s.BufferBytes,
+		LossRate:    s.LossRate,
+	})
+	for i, fs := range s.Flows {
+		fs := fs
+		seed := s.Seed*1000 + uint64(i) + 1
+		alg, err := NewScheme(fs.Scheme, seed)
+		if err != nil {
+			return nil, err
+		}
+		n.AddFlow(netsim.FlowConfig{
+			Name:        fmt.Sprintf("%s-%d", fs.Scheme, i),
+			Path:        []*netsim.Link{link},
+			Start:       fs.Start,
+			Duration:    fs.Duration,
+			ExtraOneWay: fs.ExtraOneWay,
+			PacketSize:  s.PacketSize,
+			CC:          func() cc.Algorithm { return alg },
+		})
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	n.Run(s.Horizon)
+	return &RunResult{
+		Scenario:    s,
+		Flows:       n.Flows(),
+		Link:        link,
+		Utilization: link.Utilization(s.Horizon),
+	}, nil
+}

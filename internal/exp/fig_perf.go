@@ -1,0 +1,342 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/traces"
+)
+
+// Fig10Row is one point of the performance sweeps: a scheme's single-flow
+// link utilization and mean queuing delay at one parameter setting.
+type Fig10Row struct {
+	Scheme       string
+	Param        string  // "bandwidth", "delay", "loss", "buffer"
+	X            float64 // Mbps, ms, loss fraction, or BDP multiple
+	Utilization  float64
+	QueuingDelay float64 // ms
+}
+
+// Fig10Options scales the sweeps. The paper sweeps 10-600 Mbps, 15-120 ms
+// one-way delay, 0-1.5% loss, and 0.2-16x BDP buffers; zero value runs the
+// same ranges with fewer points and shorter flows.
+type Fig10Options struct {
+	Schemes  []string
+	Lifetime time.Duration
+	Seed     uint64
+
+	Bandwidths []float64       // bits/second
+	Delays     []time.Duration // one-way
+	Losses     []float64
+	BufferBDPs []float64
+}
+
+func (o *Fig10Options) defaults() {
+	if o.Schemes == nil {
+		o.Schemes = []string{"jury", "astraea", "orca", "aurora", "vivace", "bbr", "cubic", "vegas"}
+	}
+	if o.Lifetime == 0 {
+		o.Lifetime = 40 * time.Second
+	}
+	if o.Bandwidths == nil {
+		o.Bandwidths = []float64{10e6, 100e6, 300e6, 600e6}
+	}
+	if o.Delays == nil {
+		o.Delays = []time.Duration{15 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond, 120 * time.Millisecond}
+	}
+	if o.Losses == nil {
+		o.Losses = []float64{0, 0.002, 0.005, 0.01, 0.015}
+	}
+	if o.BufferBDPs == nil {
+		o.BufferBDPs = []float64{0.2, 0.5, 1, 2, 4, 8, 16}
+	}
+}
+
+// baseline parameters held constant while one dimension sweeps.
+const (
+	fig10BaseRate = 100e6
+	fig10BaseOWD  = 15 * time.Millisecond
+	fig10BaseBDP  = 2.0
+)
+
+// Fig10PerformanceSweeps runs all four single-flow sweeps for each scheme.
+func Fig10PerformanceSweeps(o Fig10Options) ([]Fig10Row, error) {
+	o.defaults()
+	var rows []Fig10Row
+	run := func(scheme, param string, x float64, rate float64, owd time.Duration, loss, bufBDP float64) error {
+		s := Scenario{
+			Name:        fmt.Sprintf("fig10-%s-%s-%v", scheme, param, x),
+			Rate:        rate,
+			OneWayDelay: owd,
+			LossRate:    loss,
+			Seed:        o.Seed + hash(scheme+param) + uint64(x*1000),
+			Horizon:     o.Lifetime,
+			Flows:       []FlowSpec{{Scheme: scheme}},
+		}
+		s.BufferBytes = s.BufferBDP(bufBDP)
+		if rate >= 500e6 {
+			s.PacketSize = 6000 // bound event counts on fast links
+		}
+		res, err := Run(s)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, Fig10Row{
+			Scheme:       scheme,
+			Param:        param,
+			X:            x,
+			Utilization:  res.Utilization,
+			QueuingDelay: metrics.MeanQueuingDelayMS(res.Flows[0], o.Lifetime/2, o.Lifetime),
+		})
+		return nil
+	}
+	for _, scheme := range o.Schemes {
+		for _, bw := range o.Bandwidths {
+			if err := run(scheme, "bandwidth", bw/1e6, bw, fig10BaseOWD, 0, fig10BaseBDP); err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range o.Delays {
+			if err := run(scheme, "delay", float64(d)/1e6, fig10BaseRate, d, 0, fig10BaseBDP); err != nil {
+				return nil, err
+			}
+		}
+		for _, l := range o.Losses {
+			if err := run(scheme, "loss", l, fig10BaseRate, fig10BaseOWD, l, fig10BaseBDP); err != nil {
+				return nil, err
+			}
+		}
+		for _, b := range o.BufferBDPs {
+			if err := run(scheme, "buffer", b, fig10BaseRate, fig10BaseOWD, 0, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig11Row is one scheme's outcome on a challenging link.
+type Fig11Row struct {
+	Scheme        string
+	ThroughputBps float64
+	// NormalizedDelay is mean one-way delay / base one-way delay (the
+	// paper's x-axis); 1.0 means no inflation.
+	NormalizedDelay float64
+}
+
+// Fig11Options selects the challenging-conditions runs.
+type Fig11Options struct {
+	Schemes  []string
+	Lifetime time.Duration
+	Seed     uint64
+}
+
+func (o *Fig11Options) defaults(schemes []string) {
+	if o.Schemes == nil {
+		o.Schemes = schemes
+	}
+	if o.Lifetime == 0 {
+		o.Lifetime = 60 * time.Second
+	}
+}
+
+// runPareto runs one flow per scheme over the given link and reports the
+// throughput/latency Pareto points.
+func runPareto(o Fig11Options, rate float64, owd time.Duration, loss float64, bufBDP float64, pktSize int) ([]Fig11Row, error) {
+	var rows []Fig11Row
+	for _, scheme := range o.Schemes {
+		s := Scenario{
+			Name:        fmt.Sprintf("pareto-%s", scheme),
+			Rate:        rate,
+			OneWayDelay: owd,
+			LossRate:    loss,
+			PacketSize:  pktSize,
+			Seed:        o.Seed + hash(scheme),
+			Horizon:     o.Lifetime,
+			Flows:       []FlowSpec{{Scheme: scheme}},
+		}
+		s.BufferBytes = s.BufferBDP(bufBDP)
+		res, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		f := res.Flows[0]
+		thr := metrics.MeanThroughput(f, o.Lifetime/3, o.Lifetime)
+		rtt := metrics.MeanRTT(f, o.Lifetime/3, o.Lifetime)
+		norm := 1.0
+		if base := f.BaseRTT(); base > 0 && rtt > 0 {
+			norm = float64(rtt) / float64(base)
+		}
+		rows = append(rows, Fig11Row{Scheme: scheme, ThroughputBps: thr, NormalizedDelay: norm})
+	}
+	return rows, nil
+}
+
+// Fig11Satellite reproduces Fig. 11(a): 42 Mbps, 800 ms RTT, 0.74% loss.
+func Fig11Satellite(o Fig11Options) ([]Fig11Row, error) {
+	o.defaults([]string{"jury", "astraea", "orca", "aurora", "vivace", "bbr", "cubic", "vegas"})
+	return runPareto(o, 42e6, 400*time.Millisecond, 0.0074, 1, 0)
+}
+
+// Fig11HighSpeed reproduces Fig. 11(b): a 10 Gbps / 15 ms link (MSS scaled
+// to bound event counts; see DESIGN.md).
+func Fig11HighSpeed(o Fig11Options) ([]Fig11Row, error) {
+	o.defaults([]string{"jury", "astraea", "vivace", "bbr", "cubic", "vegas"})
+	if o.Lifetime == 60*time.Second {
+		o.Lifetime = 30 * time.Second
+	}
+	return runPareto(o, 10e9, 7500*time.Microsecond, 0, 2, 60000)
+}
+
+// Fig12Row is one sample of the LTE responsiveness trace.
+type Fig12Row struct {
+	T           time.Duration
+	Scheme      string // "capacity" rows carry the trace itself
+	SendRateBps float64
+}
+
+// Fig12Options parameterizes the LTE responsiveness study.
+type Fig12Options struct {
+	Schemes  []string
+	Lifetime time.Duration
+	Seed     uint64
+}
+
+func (o *Fig12Options) defaults() {
+	if o.Schemes == nil {
+		o.Schemes = []string{"jury", "astraea", "orca", "aurora", "vivace"}
+	}
+	if o.Lifetime == 0 {
+		o.Lifetime = 60 * time.Second
+	}
+}
+
+// Fig12LTEResponsiveness runs each scheme over the synthetic LTE trace and
+// records its sending rate against the capacity.
+func Fig12LTEResponsiveness(o Fig12Options) ([]Fig12Row, error) {
+	o.defaults()
+	cfg := traces.DefaultLTE(o.Seed + 99)
+	tr, err := traces.SynthesizeLTE(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig12Row
+	for t := time.Duration(0); t < o.Lifetime; t += time.Second {
+		rows = append(rows, Fig12Row{T: t, Scheme: "capacity", SendRateBps: tr.RateAt(t)})
+	}
+	for _, scheme := range o.Schemes {
+		s := Scenario{
+			Name:        "fig12-" + scheme,
+			Trace:       tr,
+			Rate:        cfg.Mean,
+			OneWayDelay: 15 * time.Millisecond,
+			BufferBytes: int(cfg.Mean / 8 * 0.5), // generous cellular buffer
+			Seed:        o.Seed + hash(scheme),
+			Horizon:     o.Lifetime,
+			Flows:       []FlowSpec{{Scheme: scheme}},
+		}
+		res, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		var acc float64
+		var n int
+		next := time.Second
+		for _, p := range res.Flows[0].Series() {
+			acc += p.SendRateBps
+			n++
+			if p.T >= next {
+				rows = append(rows, Fig12Row{T: next, Scheme: scheme, SendRateBps: acc / float64(n)})
+				acc, n = 0, 0
+				next += time.Second
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig12Tracking summarizes responsiveness as the mean utilization of the
+// time-varying capacity (1.0 = perfectly tracked, never exceeded).
+func Fig12Tracking(rows []Fig12Row, scheme string) float64 {
+	caps := map[time.Duration]float64{}
+	for _, r := range rows {
+		if r.Scheme == "capacity" {
+			caps[r.T] = r.SendRateBps
+		}
+	}
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.Scheme != scheme {
+			continue
+		}
+		if c, ok := caps[r.T]; ok && c > 0 {
+			u := r.SendRateBps / c
+			if u > 1 {
+				u = 1
+			}
+			sum += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Fig13Options selects the emulated "real-world WAN" runs.
+type Fig13Options struct {
+	Schemes  []string
+	Lifetime time.Duration
+	Seed     uint64
+}
+
+func (o *Fig13Options) defaults() {
+	if o.Schemes == nil {
+		o.Schemes = []string{"jury", "astraea", "orca", "aurora", "vivace", "bbr", "cubic", "vegas"}
+	}
+	if o.Lifetime == 0 {
+		o.Lifetime = 30 * time.Second
+	}
+}
+
+// Fig13WAN emulates the AWS paths of Fig. 13 (see DESIGN.md substitutions):
+// intra-continental ≈ 1.4 Gbps with ~35 ms RTT, inter-continental ≈
+// 1.2 Gbps with ~220 ms RTT, both with ±15% capacity jitter standing in for
+// cross traffic.
+func Fig13WAN(intra bool, o Fig13Options) ([]Fig11Row, error) {
+	o.defaults()
+	rate, owd := 1.4e9, 17500*time.Microsecond
+	if !intra {
+		rate, owd = 1.2e9, 110*time.Millisecond
+	}
+	var rows []Fig11Row
+	for _, scheme := range o.Schemes {
+		s := Scenario{
+			Name:        fmt.Sprintf("fig13-%s", scheme),
+			Trace:       &traces.Jittered{Base: traces.Constant(rate), Period: 500 * time.Millisecond, Amplitude: 0.15, Seed: o.Seed + 7},
+			Rate:        rate,
+			OneWayDelay: owd,
+			PacketSize:  9000,
+			Seed:        o.Seed + hash(scheme),
+			Horizon:     o.Lifetime,
+			Flows:       []FlowSpec{{Scheme: scheme}},
+		}
+		s.BufferBytes = s.BufferBDP(1.5)
+		res, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		f := res.Flows[0]
+		thr := metrics.MeanThroughput(f, o.Lifetime/3, o.Lifetime)
+		rtt := metrics.MeanRTT(f, o.Lifetime/3, o.Lifetime)
+		norm := 1.0
+		if base := f.BaseRTT(); base > 0 && rtt > 0 {
+			norm = float64(rtt) / float64(base)
+		}
+		rows = append(rows, Fig11Row{Scheme: scheme, ThroughputBps: thr, NormalizedDelay: norm})
+	}
+	return rows, nil
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/simcore"
+)
+
+// Tab3Row is one row of Table 3: the mean per-flow throughput and delay
+// ratio for one class of flows in a large-scale mix.
+type Tab3Row struct {
+	Experiment string // "long-short" or "hetero-rtt"
+	Class      string // "overall", "long", "short", "small-rtt", "large-rtt"
+	ThrMbps    float64
+	DelayRatio float64 // mean RTT / base RTT
+	Flows      int
+}
+
+// Tab3Options scales the Table 3 experiments. The paper uses a 100-second
+// trace repeated 20 times on a ~200 Mbps aggregate; the zero value runs a
+// reduced repetition count.
+type Tab3Options struct {
+	Rate     float64
+	Repeats  int
+	Lifetime time.Duration
+	Seed     uint64
+}
+
+func (o *Tab3Options) defaults() {
+	if o.Rate == 0 {
+		o.Rate = 200e6
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+	if o.Lifetime == 0 {
+		o.Lifetime = 100 * time.Second
+	}
+}
+
+// flowAgg accumulates per-class results across repeats.
+type flowAgg struct {
+	thr   []float64
+	ratio []float64
+	n     int
+}
+
+func (a *flowAgg) add(f *netsim.Flow, from, to time.Duration) {
+	thr := metrics.MeanThroughput(f, from, to)
+	if thr <= 0 {
+		return
+	}
+	a.thr = append(a.thr, thr)
+	if rtt := metrics.MeanRTT(f, from, to); rtt > 0 && f.BaseRTT() > 0 {
+		a.ratio = append(a.ratio, float64(rtt)/float64(f.BaseRTT()))
+	}
+	a.n++
+}
+
+func (a *flowAgg) row(exp, class string) Tab3Row {
+	return Tab3Row{
+		Experiment: exp,
+		Class:      class,
+		ThrMbps:    metrics.Mean(a.thr) / 1e6,
+		DelayRatio: metrics.Mean(a.ratio),
+		Flows:      a.n,
+	}
+}
+
+// Tab3LongShort runs experiment (i): 4 long-running Jury flows plus a churn
+// of short flows with Poisson arrivals (λ=4/s) and N(4,1)-second lifetimes.
+func Tab3LongShort(o Tab3Options) ([]Tab3Row, error) {
+	o.defaults()
+	var long, short, overall flowAgg
+	for rep := 0; rep < o.Repeats; rep++ {
+		rng := simcore.NewRNG(o.Seed + uint64(rep)*77)
+		n := netsim.New(netsim.Config{Seed: rng.Uint64()})
+		link := n.AddLink(netsim.LinkConfig{
+			Rate: o.Rate, Delay: 15 * time.Millisecond,
+			BufferBytes: int(o.Rate / 8 * 0.030),
+		})
+		var longs, shorts []*netsim.Flow
+		for i := 0; i < 4; i++ {
+			seed := rng.Uint64()
+			longs = append(longs, n.AddFlow(netsim.FlowConfig{
+				Name: fmt.Sprintf("long-%d", i), Path: []*netsim.Link{link},
+				CC: func() cc.Algorithm { return core.NewDefault(seed) },
+			}))
+		}
+		// Poisson short-flow arrivals.
+		for t := 0.0; t < o.Lifetime.Seconds(); t += rng.ExpFloat64() / 4 {
+			life := rng.Norm(4, 1)
+			if life < 0.5 {
+				life = 0.5
+			}
+			seed := rng.Uint64()
+			shorts = append(shorts, n.AddFlow(netsim.FlowConfig{
+				Name: fmt.Sprintf("short-%d", len(shorts)), Path: []*netsim.Link{link},
+				Start:    time.Duration(t * float64(time.Second)),
+				Duration: time.Duration(life * float64(time.Second)),
+				CC:       func() cc.Algorithm { return core.NewDefault(seed) },
+			}))
+		}
+		n.Run(o.Lifetime)
+		warm := o.Lifetime / 5
+		for _, f := range longs {
+			long.add(f, warm, o.Lifetime)
+			overall.add(f, warm, o.Lifetime)
+		}
+		for _, f := range shorts {
+			short.add(f, 0, o.Lifetime)
+			overall.add(f, 0, o.Lifetime)
+		}
+	}
+	return []Tab3Row{
+		overallRow(&overall, "long-short", o),
+		long.row("long-short", "long"),
+		short.row("long-short", "short"),
+	}, nil
+}
+
+// overallRow reports the aggregate throughput (sum across concurrently
+// active flows approximates link usage; the paper reports ~192 Mbps on the
+// 200 Mbps link).
+func overallRow(a *flowAgg, exp string, o Tab3Options) Tab3Row {
+	r := a.row(exp, "overall")
+	return r
+}
+
+// Tab3HeteroRTT runs experiment (ii): 20 Jury flows, half with 30 ms and
+// half with 90 ms base RTT.
+func Tab3HeteroRTT(o Tab3Options) ([]Tab3Row, error) {
+	o.defaults()
+	var small, large flowAgg
+	for rep := 0; rep < o.Repeats; rep++ {
+		rng := simcore.NewRNG(o.Seed + uint64(rep)*133)
+		n := netsim.New(netsim.Config{Seed: rng.Uint64()})
+		link := n.AddLink(netsim.LinkConfig{
+			Rate: o.Rate, Delay: 15 * time.Millisecond,
+			BufferBytes: int(o.Rate / 8 * 0.090),
+		})
+		var smalls, larges []*netsim.Flow
+		for i := 0; i < 20; i++ {
+			seed := rng.Uint64()
+			fc := netsim.FlowConfig{
+				Name: fmt.Sprintf("f%d", i), Path: []*netsim.Link{link},
+				Start: time.Duration(i) * 500 * time.Millisecond,
+				CC:    func() cc.Algorithm { return core.NewDefault(seed) },
+			}
+			if i%2 == 1 {
+				fc.ExtraOneWay = 30 * time.Millisecond // 90 ms base RTT
+				larges = append(larges, n.AddFlow(fc))
+			} else {
+				smalls = append(smalls, n.AddFlow(fc))
+			}
+		}
+		n.Run(o.Lifetime)
+		warm := o.Lifetime / 3
+		for _, f := range smalls {
+			small.add(f, warm, o.Lifetime)
+		}
+		for _, f := range larges {
+			large.add(f, warm, o.Lifetime)
+		}
+	}
+	return []Tab3Row{
+		small.row("hetero-rtt", "small-rtt"),
+		large.row("hetero-rtt", "large-rtt"),
+	}, nil
+}

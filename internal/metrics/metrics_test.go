@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/netsim"
+)
+
+func TestJainIndexKnownValues(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{10, 10}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{[]float64{3, 1}, 0.8},
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := JainIndex(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jain(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			xs = append(xs, math.Abs(v))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		lo := 1/float64(len(xs)) - 1e-9
+		return (j == 0 || j >= lo) && j <= 1+1e-9
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainIndexScaleInvariant(t *testing.T) {
+	a := []float64{2, 5, 9}
+	b := []float64{20, 50, 90}
+	if math.Abs(JainIndex(a)-JainIndex(b)) > 1e-12 {
+		t.Fatal("Jain index not scale invariant")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean wrong")
+	}
+}
+
+func buildTwoFlowRun(t *testing.T) []*netsim.Flow {
+	t.Helper()
+	n := netsim.New(netsim.Config{Seed: 1})
+	l := n.AddLink(netsim.LinkConfig{Rate: 10e6, Delay: 10 * time.Millisecond, BufferBytes: 100_000})
+	f1 := n.AddFlow(netsim.FlowConfig{Name: "a", Path: []*netsim.Link{l}, CC: func() cc.Algorithm { return cc.NewManual(8e6) }})
+	f2 := n.AddFlow(netsim.FlowConfig{Name: "b", Path: []*netsim.Link{l}, CC: func() cc.Algorithm { return cc.NewManual(8e6) }})
+	n.Run(10 * time.Second)
+	return []*netsim.Flow{f1, f2}
+}
+
+func TestFlowSeriesMetrics(t *testing.T) {
+	flows := buildTwoFlowRun(t)
+	thr := MeanThroughput(flows[0], 2*time.Second, 10*time.Second)
+	if thr < 3e6 || thr > 7e6 {
+		t.Fatalf("mean throughput %v, want ~5e6", thr)
+	}
+	q := MeanQueuingDelayMS(flows[0], 2*time.Second, 10*time.Second)
+	if q <= 0 || q > 200 {
+		t.Fatalf("queuing delay %v ms", q)
+	}
+	rtt := MeanRTT(flows[0], 2*time.Second, 10*time.Second)
+	if rtt < 20*time.Millisecond {
+		t.Fatalf("mean RTT %v below base", rtt)
+	}
+	if MeanThroughput(flows[0], 50*time.Second, 60*time.Second) != 0 {
+		t.Fatal("out-of-range window should be 0")
+	}
+}
+
+func TestTimewiseJain(t *testing.T) {
+	flows := buildTwoFlowRun(t)
+	j := TimewiseJain(flows)
+	// Two equal-rate manual flows: near-perfect fairness at all times.
+	if j < 0.95 {
+		t.Fatalf("timewise Jain %v for equal flows", j)
+	}
+	if TimewiseJain(nil) != 1 {
+		t.Fatal("no-flow timewise Jain should be 1 (vacuous)")
+	}
+}
+
+func TestConvergenceTime(t *testing.T) {
+	n := netsim.New(netsim.Config{Seed: 9})
+	l := n.AddLink(netsim.LinkConfig{Rate: 10e6, Delay: 10 * time.Millisecond, BufferBytes: 100_000})
+	man := cc.NewManual(1e6)
+	f := n.AddFlow(netsim.FlowConfig{Name: "ramp", Path: []*netsim.Link{l},
+		CC: func() cc.Algorithm { return man }})
+	n.Run(5 * time.Second)
+	man.SetRate(9e6) // jumps to ~fair share at t=5s
+	n.Run(15 * time.Second)
+
+	got := ConvergenceTime(f, 0, 9e6, 0.8, 3)
+	if got < 4*time.Second || got > 7*time.Second {
+		t.Fatalf("convergence time %v, want ~5s", got)
+	}
+	if ConvergenceTime(f, 0, 100e6, 0.8, 3) != -1 {
+		t.Fatal("unreachable share should report -1")
+	}
+}

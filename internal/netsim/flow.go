@@ -1,0 +1,395 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/simcore"
+)
+
+// DefaultPacketSize is the MSS used when FlowConfig.PacketSize is zero.
+const DefaultPacketSize = 1500
+
+// FlowConfig describes one sender/receiver pair.
+type FlowConfig struct {
+	Name string
+	// Path is the ordered list of links the flow's packets traverse.
+	Path []*Link
+	// CC constructs the flow's congestion controller.
+	CC func() cc.Algorithm
+	// Start is when the flow begins sending.
+	Start time.Duration
+	// Duration bounds the sending period; zero means "until the horizon".
+	Duration time.Duration
+	// ExtraOneWay adds per-flow propagation delay in each direction, so
+	// flows sharing a bottleneck can have heterogeneous base RTTs.
+	ExtraOneWay time.Duration
+	// PacketSize is the MSS in bytes (default DefaultPacketSize). High-speed
+	// experiments scale it up to bound event counts.
+	PacketSize int
+}
+
+// packet is one in-flight segment.
+type packet struct {
+	flow    *Flow
+	size    int
+	sentAt  time.Duration
+	hop     int
+	ctrlIdx int64 // send-interval index for interval-driven schemes
+}
+
+// SeriesPoint is one sample of a flow's recorded time series.
+type SeriesPoint struct {
+	T             time.Duration // end of the sample window
+	ThroughputBps float64       // delivery rate over the window
+	SendRateBps   float64       // transmission rate over the window
+	AvgRTT        time.Duration // mean RTT of ACKs in the window (0 if none)
+	LossRate      float64       // lost/(lost+acked) in the window
+	Cwnd          float64       // controller cwnd at sample time
+	PacingBps     float64       // controller pacing rate at sample time
+}
+
+// FlowStats summarizes a flow over its whole lifetime.
+type FlowStats struct {
+	Name             string
+	Start            time.Duration
+	ActiveFor        time.Duration
+	SentPackets      int64
+	SentBytes        int64
+	AckedPackets     int64
+	AckedBytes       int64
+	LostPackets      int64
+	MinRTT           time.Duration
+	AvgRTT           time.Duration
+	AvgThroughputBps float64
+	LossRate         float64
+}
+
+// intervalAgg accumulates feedback between control (or recording) ticks.
+type intervalAgg struct {
+	ackedBytes   int64
+	ackedPackets int64
+	sentBytes    int64
+	sentPackets  int64
+	lostPackets  int64
+	rttSum       time.Duration
+	rttMin       time.Duration
+}
+
+func (a *intervalAgg) reset() { *a = intervalAgg{} }
+
+func (a *intervalAgg) addAck(bytes int, rtt time.Duration) {
+	a.ackedBytes += int64(bytes)
+	a.ackedPackets++
+	a.rttSum += rtt
+	if a.rttMin == 0 || rtt < a.rttMin {
+		a.rttMin = rtt
+	}
+}
+
+// Flow is a bulk sender driving one cc.Algorithm.
+type Flow struct {
+	net *Network
+	cfg FlowConfig
+	rng *simcore.RNG
+	alg cc.Algorithm
+
+	pktSize    int
+	returnLeg  time.Duration // ack path delay: Σ link prop + ExtraOneWay
+	baseRTT    time.Duration // 2·(Σ link prop + ExtraOneWay)
+	active     bool
+	started    bool
+	stopAt     time.Duration
+	inflight   int
+	nextSendAt time.Duration
+	sendTimer  *simcore.Event
+
+	srtt   time.Duration
+	minRTT time.Duration
+
+	tracker *intervalTracker // send-interval attribution for interval schemes
+	rec     intervalAgg      // feeds the recorded series
+
+	// lifetime totals
+	total  intervalAgg
+	rttAll time.Duration // Σ RTT for mean over all acks
+
+	series []SeriesPoint
+}
+
+func newFlow(n *Network, cfg FlowConfig, rng *simcore.RNG) *Flow {
+	if cfg.PacketSize <= 0 {
+		cfg.PacketSize = DefaultPacketSize
+	}
+	var prop time.Duration
+	for _, l := range cfg.Path {
+		prop += l.cfg.Delay
+	}
+	f := &Flow{
+		net:       n,
+		cfg:       cfg,
+		rng:       rng,
+		alg:       cfg.CC(),
+		pktSize:   cfg.PacketSize,
+		returnLeg: prop + cfg.ExtraOneWay,
+		baseRTT:   2 * (prop + cfg.ExtraOneWay),
+	}
+	return f
+}
+
+// Name returns the flow's configured name.
+func (f *Flow) Name() string { return f.cfg.Name }
+
+// CC exposes the flow's controller (experiments use this to steer Manual
+// controllers or inspect scheme internals).
+func (f *Flow) CC() cc.Algorithm { return f.alg }
+
+// BaseRTT reports the flow's propagation-only round-trip time.
+func (f *Flow) BaseRTT() time.Duration { return f.baseRTT }
+
+// Series returns the recorded time series.
+func (f *Flow) Series() []SeriesPoint { return f.series }
+
+// armStart schedules the flow's start (idempotent).
+func (f *Flow) armStart() {
+	if f.started {
+		return
+	}
+	f.started = true
+	f.net.eng.Schedule(f.cfg.Start, f.start)
+}
+
+func (f *Flow) start() {
+	now := f.net.eng.Now()
+	f.active = true
+	if f.cfg.Duration > 0 {
+		f.stopAt = f.cfg.Start + f.cfg.Duration
+		f.net.eng.Schedule(f.stopAt, f.stop)
+	}
+	f.alg.Init(now)
+	if ia, ok := f.alg.(cc.IntervalAlgorithm); ok {
+		f.tracker = newIntervalTracker(ia)
+		f.net.eng.ScheduleAfter(f.tracker.interval, f.intervalTick)
+	}
+	f.net.eng.ScheduleAfter(f.net.cfg.RecordInterval, f.recordTick)
+	f.trySend()
+}
+
+func (f *Flow) stop() {
+	f.active = false
+	if f.sendTimer != nil {
+		f.sendTimer.Cancel()
+		f.sendTimer = nil
+	}
+}
+
+// intervalTick closes the current send interval and delivers any completed
+// ones (the delivery of interval t naturally lags its close by ~1 RTT).
+func (f *Flow) intervalTick() {
+	if !f.active {
+		return
+	}
+	now := f.net.eng.Now()
+	f.tracker.closeCurrent(f, now)
+	f.tracker.tryDeliver(f, now)
+	f.net.eng.ScheduleAfter(f.tracker.interval, f.intervalTick)
+}
+
+func (f *Flow) recordTick() {
+	if !f.active {
+		return
+	}
+	now := f.net.eng.Now()
+	iv := f.net.cfg.RecordInterval
+	p := SeriesPoint{
+		T:             now,
+		ThroughputBps: float64(f.rec.ackedBytes) * 8 / iv.Seconds(),
+		SendRateBps:   float64(f.rec.sentBytes) * 8 / iv.Seconds(),
+		LossRate:      lossRate(f.rec.lostPackets, f.rec.ackedPackets),
+		Cwnd:          f.alg.CWND(),
+		PacingBps:     f.alg.PacingRate(),
+	}
+	if f.rec.ackedPackets > 0 {
+		p.AvgRTT = f.rec.rttSum / time.Duration(f.rec.ackedPackets)
+	}
+	f.series = append(f.series, p)
+	f.rec.reset()
+	f.net.eng.ScheduleAfter(iv, f.recordTick)
+}
+
+func lossRate(lost, acked int64) float64 {
+	if lost+acked == 0 {
+		return 0
+	}
+	return float64(lost) / float64(lost+acked)
+}
+
+// trySend transmits packets while the window and pacing schedule allow.
+func (f *Flow) trySend() {
+	if !f.active {
+		return
+	}
+	now := f.net.eng.Now()
+	cwnd := f.alg.CWND()
+	if cwnd < 1 {
+		cwnd = 1
+	}
+	for float64(f.inflight) < cwnd {
+		rate := f.alg.PacingRate()
+		if rate > 0 && f.nextSendAt > now {
+			f.armSendTimer(f.nextSendAt)
+			return
+		}
+		f.sendPacket(now)
+		if rate > 0 {
+			gap := time.Duration(float64(f.pktSize) * 8 / rate * float64(time.Second))
+			// Mean-preserving exponential jitter on the pacing gap (Poisson
+			// arrivals). Perfectly periodic senders phase-lock against
+			// DropTail departures — the waiting-time paradox skews admission
+			// toward the faster stream — whereas memoryless arrivals make a
+			// full buffer admit packets in proportion to each flow's sending
+			// rate, the regime Eq. 2 of the paper (and Jury's occupancy
+			// estimator) assumes. Real aggregated traffic is bursty enough
+			// to be far closer to this than to CBR.
+			gap = time.Duration(float64(gap) * f.rng.ExpFloat64())
+			if gap > time.Second {
+				gap = time.Second // floor the pacing rate at ~MSS/sec
+			}
+			base := f.nextSendAt
+			if base < now {
+				base = now
+			}
+			f.nextSendAt = base + gap
+		}
+	}
+}
+
+func (f *Flow) armSendTimer(at time.Duration) {
+	if f.sendTimer != nil {
+		f.sendTimer.Cancel()
+	}
+	f.sendTimer = f.net.eng.Schedule(at, func() {
+		f.sendTimer = nil
+		f.trySend()
+	})
+}
+
+func (f *Flow) sendPacket(now time.Duration) {
+	p := &packet{flow: f, size: f.pktSize, sentAt: now, hop: -1}
+	f.inflight++
+	if f.tracker != nil {
+		p.ctrlIdx = f.tracker.onSend(p.size)
+	}
+	f.rec.sentBytes += int64(p.size)
+	f.rec.sentPackets++
+	f.total.sentBytes += int64(p.size)
+	f.total.sentPackets++
+	if f.cfg.ExtraOneWay > 0 {
+		f.net.eng.ScheduleAfter(f.cfg.ExtraOneWay, func() { f.advance(p) })
+	} else {
+		f.advance(p)
+	}
+}
+
+// advance moves a packet to its next hop, or delivers it and schedules the
+// ACK's return once it has cleared the last link.
+func (f *Flow) advance(p *packet) {
+	p.hop++
+	if p.hop < len(f.cfg.Path) {
+		f.cfg.Path[p.hop].arrive(p)
+		return
+	}
+	f.net.eng.ScheduleAfter(f.returnLeg, func() { f.onAck(p) })
+}
+
+func (f *Flow) onAck(p *packet) {
+	now := f.net.eng.Now()
+	rtt := now - p.sentAt
+	f.inflight--
+	if f.tracker != nil {
+		f.tracker.onAck(p.ctrlIdx, now, p.size, rtt)
+	}
+	if !f.active {
+		return
+	}
+	if f.minRTT == 0 || rtt < f.minRTT {
+		f.minRTT = rtt
+	}
+	if f.srtt == 0 {
+		f.srtt = rtt
+	} else {
+		f.srtt += (rtt - f.srtt) / 8
+	}
+	f.rec.addAck(p.size, rtt)
+	f.total.addAck(p.size, rtt)
+	f.rttAll += rtt
+	f.alg.OnAck(cc.Ack{Now: now, SentAt: p.sentAt, RTT: rtt, Bytes: p.size})
+	f.trySend()
+	if f.tracker != nil {
+		f.tracker.tryDeliver(f, now)
+	}
+}
+
+// onDrop is called by a link when it discards one of this flow's packets.
+// The sender learns about the loss one (estimated) RTT later, emulating
+// duplicate-ACK detection.
+func (f *Flow) onDrop(p *packet) {
+	delay := f.srtt
+	if delay == 0 {
+		delay = f.baseRTT
+	}
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	f.net.eng.ScheduleAfter(delay, func() { f.onLossDetected(p) })
+}
+
+func (f *Flow) onLossDetected(p *packet) {
+	f.inflight--
+	if f.tracker != nil {
+		f.tracker.onLoss(p.ctrlIdx)
+	}
+	if !f.active {
+		return
+	}
+	now := f.net.eng.Now()
+	f.rec.lostPackets++
+	f.total.lostPackets++
+	f.alg.OnLoss(cc.Loss{Now: now, SentAt: p.sentAt, Bytes: p.size})
+	f.trySend()
+	if f.tracker != nil {
+		f.tracker.tryDeliver(f, now)
+	}
+}
+
+// Stats summarizes the flow so far.
+func (f *Flow) Stats() FlowStats {
+	now := f.net.eng.Now()
+	end := now
+	if f.stopAt > 0 && f.stopAt < end {
+		end = f.stopAt
+	}
+	active := end - f.cfg.Start
+	if active < 0 {
+		active = 0
+	}
+	s := FlowStats{
+		Name:         f.cfg.Name,
+		Start:        f.cfg.Start,
+		ActiveFor:    active,
+		SentPackets:  f.total.sentPackets,
+		SentBytes:    f.total.sentBytes,
+		AckedPackets: f.total.ackedPackets,
+		AckedBytes:   f.total.ackedBytes,
+		LostPackets:  f.total.lostPackets,
+		MinRTT:       f.minRTT,
+		LossRate:     lossRate(f.total.lostPackets, f.total.ackedPackets),
+	}
+	if f.total.ackedPackets > 0 {
+		s.AvgRTT = f.rttAll / time.Duration(f.total.ackedPackets)
+	}
+	if active > 0 {
+		s.AvgThroughputBps = float64(f.total.ackedBytes) * 8 / active.Seconds()
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/simcore"
+	"repro/internal/traces"
+)
+
+// LinkConfig describes one directional link.
+type LinkConfig struct {
+	// Rate is the fixed capacity in bits/second. Ignored if Trace is set.
+	Rate float64
+	// Trace, if non-nil, drives a time-varying capacity.
+	Trace traces.Trace
+	// Delay is the one-way propagation delay of this link.
+	Delay time.Duration
+	// BufferBytes is the DropTail queue capacity in bytes.
+	BufferBytes int
+	// LossRate is the i.i.d. probability that an arriving packet is
+	// corrupted (dropped before queueing), modeling non-congestive loss.
+	LossRate float64
+	// JitterStd adds per-packet propagation jitter: each packet's
+	// propagation delay is Delay + |N(0, JitterStd)|. Jitter causes RTT
+	// noise and packet reordering, the empirical-signal noise §3.4's
+	// filtering is designed to absorb.
+	JitterStd time.Duration
+}
+
+// LinkStats aggregates what a link has carried.
+type LinkStats struct {
+	DeliveredBytes   int64 // bytes that finished serialization
+	DeliveredPackets int64
+	OverflowDrops    int64 // DropTail drops
+	RandomDrops      int64 // loss-rate drops
+	MaxQueueBytes    int64 // high-water mark of the queue
+}
+
+// Link is a store-and-forward directional link with a DropTail byte queue.
+type Link struct {
+	net *Network
+	cfg LinkConfig
+	rng *simcore.RNG
+
+	queue  []*packet
+	qHead  int
+	qBytes int64
+	busy   bool
+
+	stats LinkStats
+}
+
+func newLink(n *Network, cfg LinkConfig, rng *simcore.RNG) *Link {
+	return &Link{net: n, cfg: cfg, rng: rng}
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Stats returns a snapshot of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueBytes reports the current queue occupancy in bytes.
+func (l *Link) QueueBytes() int64 { return l.qBytes }
+
+// rateAt reports the capacity in bits/second at virtual time t.
+func (l *Link) rateAt(t time.Duration) float64 {
+	if l.cfg.Trace != nil {
+		return l.cfg.Trace.RateAt(t)
+	}
+	return l.cfg.Rate
+}
+
+// Utilization reports delivered bits divided by capacity·elapsed, using the
+// mean capacity over [0, elapsed] for trace-driven links.
+func (l *Link) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	var capacity float64
+	if l.cfg.Trace != nil {
+		capacity = traces.MeanRate(l.cfg.Trace, elapsed, 100*time.Millisecond)
+	} else {
+		capacity = l.cfg.Rate
+	}
+	if capacity <= 0 {
+		return 0
+	}
+	return float64(l.stats.DeliveredBytes) * 8 / (capacity * elapsed.Seconds())
+}
+
+// arrive is called when a packet reaches this link (after the previous
+// hop's propagation). It applies random loss, then DropTail queueing.
+func (l *Link) arrive(p *packet) {
+	if l.cfg.LossRate > 0 && l.rng.Bernoulli(l.cfg.LossRate) {
+		l.stats.RandomDrops++
+		p.flow.onDrop(p)
+		return
+	}
+	if l.qBytes+int64(p.size) > int64(l.cfg.BufferBytes) {
+		l.stats.OverflowDrops++
+		p.flow.onDrop(p)
+		return
+	}
+	l.queue = append(l.queue, p)
+	l.qBytes += int64(p.size)
+	if l.qBytes > l.stats.MaxQueueBytes {
+		l.stats.MaxQueueBytes = l.qBytes
+	}
+	if !l.busy {
+		l.startTx()
+	}
+}
+
+// startTx begins serializing the packet at the head of the queue.
+func (l *Link) startTx() {
+	p := l.queue[l.qHead]
+	l.busy = true
+	rate := l.rateAt(l.net.eng.Now())
+	if rate < 1 {
+		rate = 1 // avoid division blow-ups on pathological traces
+	}
+	txDur := time.Duration(float64(p.size) * 8 / rate * float64(time.Second))
+	if txDur < time.Nanosecond {
+		txDur = time.Nanosecond
+	}
+	l.net.eng.ScheduleAfter(txDur, func() { l.finishTx(p) })
+}
+
+// finishTx completes serialization: the packet leaves the queue and enters
+// propagation toward the next hop.
+func (l *Link) finishTx(p *packet) {
+	l.queue[l.qHead] = nil
+	l.qHead++
+	if l.qHead > 64 && l.qHead*2 >= len(l.queue) {
+		l.queue = append(l.queue[:0], l.queue[l.qHead:]...)
+		l.qHead = 0
+	}
+	l.qBytes -= int64(p.size)
+	l.stats.DeliveredBytes += int64(p.size)
+	l.stats.DeliveredPackets++
+
+	prop := l.cfg.Delay
+	if l.cfg.JitterStd > 0 {
+		j := l.rng.Norm(0, float64(l.cfg.JitterStd))
+		if j < 0 {
+			j = -j
+		}
+		prop += time.Duration(j)
+	}
+	l.net.eng.ScheduleAfter(prop, func() { p.flow.advance(p) })
+
+	if l.qHead < len(l.queue) {
+		l.startTx()
+	} else {
+		l.busy = false
+	}
+}

@@ -1,0 +1,119 @@
+// Package netsim is a deterministic packet-level network emulator built on
+// the discrete-event engine in internal/simcore. It plays the role Mahimahi
+// and Pantheon-tunnel play in the paper (§4): bottleneck links with DropTail
+// byte buffers, configurable capacity (fixed or trace-driven), one-way
+// propagation delay, i.i.d. random loss, multi-hop paths, and paced
+// congestion-window-limited senders that drive cc.Algorithm implementations
+// with per-ACK and per-interval feedback.
+//
+// A simulation is assembled from a Network, Links, and Flows:
+//
+//	net := netsim.New(netsim.Config{Seed: 1})
+//	link := net.AddLink(netsim.LinkConfig{Rate: 100e6, Delay: 15 * time.Millisecond, BufferBytes: 750_000})
+//	net.AddFlow(netsim.FlowConfig{Name: "f0", Path: []*netsim.Link{link}, CC: func() cc.Algorithm { return cubic.New() }})
+//	net.Run(120 * time.Second)
+//
+// All randomness derives from the Network seed, so runs are reproducible.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simcore"
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Seed drives every random component (loss, traces via callers, CC
+	// exploration if the CC asks the flow for an RNG).
+	Seed uint64
+	// RecordInterval is the granularity of per-flow time series
+	// (default 200 ms).
+	RecordInterval time.Duration
+}
+
+// Network owns the event engine, links, and flows of one simulation.
+type Network struct {
+	eng   *simcore.Engine
+	rng   *simcore.RNG
+	cfg   Config
+	links []*Link
+	flows []*Flow
+}
+
+// New returns an empty network.
+func New(cfg Config) *Network {
+	if cfg.RecordInterval <= 0 {
+		cfg.RecordInterval = 200 * time.Millisecond
+	}
+	return &Network{
+		eng: simcore.NewEngine(),
+		rng: simcore.NewRNG(cfg.Seed),
+		cfg: cfg,
+	}
+}
+
+// Engine exposes the underlying event engine (for experiment scripts that
+// schedule custom probes, e.g. the Fig. 4/5 signal studies).
+func (n *Network) Engine() *simcore.Engine { return n.eng }
+
+// Now reports current virtual time.
+func (n *Network) Now() time.Duration { return n.eng.Now() }
+
+// AddLink creates a link and registers it with the network.
+func (n *Network) AddLink(cfg LinkConfig) *Link {
+	l := newLink(n, cfg, n.rng.Split(uint64(len(n.links))+0x11))
+	n.links = append(n.links, l)
+	return l
+}
+
+// AddFlow creates a flow and registers it with the network. It panics on a
+// structurally invalid config (no path, no CC): those are programming
+// errors, not runtime conditions.
+func (n *Network) AddFlow(cfg FlowConfig) *Flow {
+	if len(cfg.Path) == 0 {
+		panic("netsim: flow with empty path")
+	}
+	if cfg.CC == nil {
+		panic("netsim: flow without CC factory")
+	}
+	f := newFlow(n, cfg, n.rng.Split(uint64(len(n.flows))+0x8000))
+	n.flows = append(n.flows, f)
+	return f
+}
+
+// Flows returns the registered flows in creation order.
+func (n *Network) Flows() []*Flow { return n.flows }
+
+// Links returns the registered links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Run executes the simulation until the horizon. It may be called multiple
+// times with increasing horizons.
+func (n *Network) Run(horizon time.Duration) {
+	for _, f := range n.flows {
+		f.armStart()
+	}
+	n.eng.Run(horizon)
+}
+
+// Validate performs basic sanity checks and returns an error describing the
+// first problem found. Experiments call this before running.
+func (n *Network) Validate() error {
+	if len(n.links) == 0 {
+		return fmt.Errorf("netsim: no links")
+	}
+	if len(n.flows) == 0 {
+		return fmt.Errorf("netsim: no flows")
+	}
+	for i, l := range n.links {
+		if l.cfg.Trace == nil && l.cfg.Rate <= 0 {
+			return fmt.Errorf("netsim: link %d has no capacity", i)
+		}
+		if l.cfg.BufferBytes <= 0 {
+			return fmt.Errorf("netsim: link %d has no buffer", i)
+		}
+	}
+	return nil
+}

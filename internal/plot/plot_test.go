@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Throughput dynamics",
+		XLabel: "time (s)",
+		YLabel: "Mbps",
+		Series: []Series{
+			{Name: "flow-0", X: []float64{0, 1, 2, 3}, Y: []float64{0, 40, 45, 48}},
+			{Name: "flow-1", X: []float64{1, 2, 3}, Y: []float64{0, 20, 25}},
+			{Name: "pareto", X: []float64{1, 2}, Y: []float64{3, 4}, Points: true},
+		},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	svg := sampleChart().SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsExpectedElements(t *testing.T) {
+	svg := sampleChart().SVG()
+	for _, want := range []string{"<polyline", "<circle", "Throughput dynamics", "flow-0", "flow-1", "Mbps", "time (s)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := &Chart{Title: `<script>"x"&y</script>`, Series: []Series{{Name: "a<b", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	svg := c.SVG()
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b") {
+		t.Fatal("series name not escaped")
+	}
+}
+
+func TestSVGHandlesDegenerateData(t *testing.T) {
+	cases := []*Chart{
+		{Title: "empty"},
+		{Title: "one-point", Series: []Series{{Name: "p", X: []float64{1}, Y: []float64{1}}}},
+		{Title: "flat", Series: []Series{{Name: "f", X: []float64{0, 1}, Y: []float64{5, 5}}}},
+		{Title: "nan", Series: []Series{{Name: "n", X: []float64{0, math.NaN(), 2}, Y: []float64{1, 2, math.Inf(1)}}}},
+	}
+	for _, c := range cases {
+		svg := c.SVG()
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+			t.Fatalf("%s: malformed envelope", c.Title)
+		}
+		if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+			t.Fatalf("%s: non-finite coordinates leaked into SVG", c.Title)
+		}
+	}
+}
+
+func TestTicksAreRoundAndCover(t *testing.T) {
+	if err := quick.Check(func(loRaw, spanRaw float64) bool {
+		lo := math.Mod(loRaw, 1000)
+		span := math.Abs(math.Mod(spanRaw, 1000)) + 0.1
+		ts := ticks(lo, lo+span, 6)
+		if len(ts) == 0 || len(ts) > 15 {
+			return false
+		}
+		for _, t := range ts {
+			if t < lo-span/1e6 || t > lo+span*(1+1e-6) {
+				return false
+			}
+		}
+		// Strictly increasing.
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500000: "1.5M",
+		2500:    "2.5k",
+		0.5:     "0.5",
+	}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestYRangePinning(t *testing.T) {
+	c := sampleChart()
+	c.YMin, c.YMax = 0, 100
+	_, _, ymin, ymax := c.bounds()
+	if ymin != 0 || ymax != 100 {
+		t.Fatalf("pinned bounds %v..%v", ymin, ymax)
+	}
+}

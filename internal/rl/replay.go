@@ -1,0 +1,73 @@
+// Package rl implements the reinforcement-learning substrate the paper
+// trains Jury with (§3.5): an experience replay buffer, DDPG-style
+// actor-critic updates with the three TD3 additions (clipped double
+// Q-learning, delayed policy updates, target policy smoothing), and a
+// Gym-like environment interface plus parallel experience collection.
+package rl
+
+import (
+	"repro/internal/simcore"
+)
+
+// Transition is one (s, a, r, s', done) tuple.
+type Transition struct {
+	State     []float64
+	Action    []float64
+	Reward    float64
+	NextState []float64
+	Done      bool
+}
+
+// ReplayBuffer is a fixed-capacity ring of transitions with uniform
+// sampling.
+type ReplayBuffer struct {
+	buf  []Transition
+	next int
+	n    int
+}
+
+// NewReplayBuffer returns an empty buffer with the given capacity.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ReplayBuffer{buf: make([]Transition, capacity)}
+}
+
+// Add inserts a transition, evicting the oldest when full.
+func (r *ReplayBuffer) Add(t Transition) {
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Len reports the number of stored transitions.
+func (r *ReplayBuffer) Len() int { return r.n }
+
+// Sample draws batch transitions uniformly with replacement into dst
+// (allocating if dst is short) and returns it.
+func (r *ReplayBuffer) Sample(rng *simcore.RNG, batch int, dst []Transition) []Transition {
+	if r.n == 0 {
+		return dst[:0]
+	}
+	if cap(dst) < batch {
+		dst = make([]Transition, batch)
+	}
+	dst = dst[:batch]
+	for i := range dst {
+		dst[i] = r.buf[rng.Intn(r.n)]
+	}
+	return dst
+}
+
+// Env is the Gym-like environment interface Jury's training loop drives.
+// Implementations wrap the network emulator (see internal/core).
+type Env interface {
+	// Reset starts a new episode and returns the initial state.
+	Reset() []float64
+	// Step applies an action and returns the next state, reward, and
+	// whether the episode finished.
+	Step(action []float64) (next []float64, reward float64, done bool)
+}

@@ -1,0 +1,257 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/simcore"
+)
+
+// Config parameterizes a TD3 agent. Zero fields take the defaults of
+// DefaultConfig, which mirror the paper's Table 2.
+type Config struct {
+	StateDim  int
+	ActionDim int
+	Hidden    []int // hidden layer widths (paper: two 128-wide layers)
+
+	ActorLR  float64 // σ in the paper: 5e-4
+	CriticLR float64 // η in the paper: 1e-3
+	Gamma    float64 // discount: 0.98
+	Tau      float64 // soft target update rate
+	Batch    int     // 64
+
+	// TD3 additions (§3.5): delayed policy updates, target policy
+	// smoothing, clipped double-Q is always on.
+	PolicyDelay int
+	TargetNoise float64
+	NoiseClip   float64
+
+	GradClip float64
+	Seed     uint64
+}
+
+// DefaultConfig returns the paper's hyperparameters (Table 2) for the given
+// state/action dimensions.
+func DefaultConfig(stateDim, actionDim int) Config {
+	return Config{
+		StateDim:    stateDim,
+		ActionDim:   actionDim,
+		Hidden:      []int{128, 128},
+		ActorLR:     5e-4,
+		CriticLR:    1e-3,
+		Gamma:       0.98,
+		Tau:         0.005,
+		Batch:       64,
+		PolicyDelay: 2,
+		TargetNoise: 0.2,
+		NoiseClip:   0.5,
+		GradClip:    10,
+		Seed:        1,
+	}
+}
+
+// TD3 is a deterministic-policy actor-critic agent with clipped double
+// Q-learning, delayed policy updates, and target policy smoothing.
+type TD3 struct {
+	cfg Config
+	rng *simcore.RNG
+
+	Actor       *nn.MLP
+	actorTarget *nn.MLP
+	critic1     *nn.MLP
+	critic2     *nn.MLP
+	c1Target    *nn.MLP
+	c2Target    *nn.MLP
+
+	actorOpt *nn.Adam
+	c1Opt    *nn.Adam
+	c2Opt    *nn.Adam
+
+	actorGrads *nn.Grads
+	c1Grads    *nn.Grads
+	c2Grads    *nn.Grads
+
+	updates int
+	batch   []Transition
+}
+
+// NewTD3 builds an agent. The actor ends in tanh (actions in [-1,1]^d); the
+// critics map (state ++ action) to a scalar value.
+func NewTD3(cfg Config) *TD3 {
+	if cfg.StateDim <= 0 || cfg.ActionDim <= 0 {
+		panic(fmt.Sprintf("rl: bad dims %d/%d", cfg.StateDim, cfg.ActionDim))
+	}
+	def := DefaultConfig(cfg.StateDim, cfg.ActionDim)
+	if cfg.Hidden == nil {
+		cfg.Hidden = def.Hidden
+	}
+	if cfg.ActorLR == 0 {
+		cfg.ActorLR = def.ActorLR
+	}
+	if cfg.CriticLR == 0 {
+		cfg.CriticLR = def.CriticLR
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = def.Gamma
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = def.Tau
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = def.Batch
+	}
+	if cfg.PolicyDelay == 0 {
+		cfg.PolicyDelay = def.PolicyDelay
+	}
+	if cfg.TargetNoise == 0 {
+		cfg.TargetNoise = def.TargetNoise
+	}
+	if cfg.NoiseClip == 0 {
+		cfg.NoiseClip = def.NoiseClip
+	}
+	if cfg.GradClip == 0 {
+		cfg.GradClip = def.GradClip
+	}
+
+	rng := simcore.NewRNG(cfg.Seed)
+	actorSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
+	actorSizes = append(actorSizes, cfg.ActionDim)
+	actorActs := make([]nn.Activation, len(actorSizes)-1)
+	for i := range actorActs {
+		actorActs[i] = nn.ReLU
+	}
+	actorActs[len(actorActs)-1] = nn.Tanh
+
+	criticSizes := append([]int{cfg.StateDim + cfg.ActionDim}, cfg.Hidden...)
+	criticSizes = append(criticSizes, 1)
+	criticActs := make([]nn.Activation, len(criticSizes)-1)
+	for i := range criticActs {
+		criticActs[i] = nn.ReLU
+	}
+	criticActs[len(criticActs)-1] = nn.Linear
+
+	t := &TD3{
+		cfg:     cfg,
+		rng:     rng,
+		Actor:   nn.NewMLP(rng.Split(1), actorSizes, actorActs),
+		critic1: nn.NewMLP(rng.Split(2), criticSizes, criticActs),
+		critic2: nn.NewMLP(rng.Split(3), criticSizes, criticActs),
+	}
+	t.actorTarget = t.Actor.Clone()
+	t.c1Target = t.critic1.Clone()
+	t.c2Target = t.critic2.Clone()
+	t.actorOpt = nn.NewAdam(t.Actor, cfg.ActorLR)
+	t.c1Opt = nn.NewAdam(t.critic1, cfg.CriticLR)
+	t.c2Opt = nn.NewAdam(t.critic2, cfg.CriticLR)
+	t.actorGrads = nn.NewGrads(t.Actor)
+	t.c1Grads = nn.NewGrads(t.critic1)
+	t.c2Grads = nn.NewGrads(t.critic2)
+	return t
+}
+
+// Act returns the deterministic policy action for state, plus Gaussian
+// exploration noise of the given standard deviation, clipped to [-1, 1].
+func (t *TD3) Act(state []float64, noiseStd float64) []float64 {
+	a := t.Actor.Forward(state)
+	for i := range a {
+		if noiseStd > 0 {
+			a[i] += t.rng.Norm(0, noiseStd)
+		}
+		a[i] = clip(a[i], -1, 1)
+	}
+	return a
+}
+
+func clip(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Q1 evaluates the first critic (exposed for tests and diagnostics).
+func (t *TD3) Q1(state, action []float64) float64 {
+	return t.critic1.Forward(concat(state, action))[0]
+}
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// Update performs one TD3 training step on a batch sampled from buf and
+// returns the mean critic TD error (diagnostic). Every PolicyDelay-th call
+// also updates the actor and the target networks.
+func (t *TD3) Update(buf *ReplayBuffer) float64 {
+	if buf.Len() < t.cfg.Batch {
+		return 0
+	}
+	t.batch = buf.Sample(t.rng, t.cfg.Batch, t.batch)
+	batch := t.batch
+
+	t.c1Grads.Zero()
+	t.c2Grads.Zero()
+	var tdErr float64
+	for _, tr := range batch {
+		// Target action with smoothing noise (TD3 trick #3).
+		aT := t.actorTarget.Forward(tr.NextState)
+		for i := range aT {
+			noise := clip(t.rng.Norm(0, t.cfg.TargetNoise), -t.cfg.NoiseClip, t.cfg.NoiseClip)
+			aT[i] = clip(aT[i]+noise, -1, 1)
+		}
+		// Clipped double-Q target (TD3 trick #1).
+		saT := concat(tr.NextState, aT)
+		q1T := t.c1Target.Forward(saT)[0]
+		q2T := t.c2Target.Forward(saT)[0]
+		y := tr.Reward
+		if !tr.Done {
+			y += t.cfg.Gamma * math.Min(q1T, q2T)
+		}
+
+		sa := concat(tr.State, tr.Action)
+		tr1 := t.critic1.ForwardTrace(sa)
+		tr2 := t.critic2.ForwardTrace(sa)
+		e1 := tr1.Output()[0] - y
+		e2 := tr2.Output()[0] - y
+		tdErr += math.Abs(e1)
+		t.critic1.Backward(tr1, []float64{2 * e1}, t.c1Grads)
+		t.critic2.Backward(tr2, []float64{2 * e2}, t.c2Grads)
+	}
+	inv := 1 / float64(len(batch))
+	t.c1Grads.Scale(inv)
+	t.c2Grads.Scale(inv)
+	t.c1Grads.ClipNorm(t.cfg.GradClip)
+	t.c2Grads.ClipNorm(t.cfg.GradClip)
+	t.c1Opt.Step(t.critic1, t.c1Grads)
+	t.c2Opt.Step(t.critic2, t.c2Grads)
+
+	t.updates++
+	if t.updates%t.cfg.PolicyDelay == 0 { // delayed policy update (TD3 trick #2)
+		t.actorGrads.Zero()
+		scratch := nn.NewGrads(t.critic1) // critic grads discarded; only dIn matters
+		for _, tr := range batch {
+			actTr := t.Actor.ForwardTrace(tr.State)
+			a := actTr.Output()
+			sa := concat(tr.State, a)
+			cTr := t.critic1.ForwardTrace(sa)
+			// Maximize Q: dLoss/dQ = -1; get dQ/d(state++action), keep the
+			// action slice, push through the actor.
+			dIn := t.critic1.Backward(cTr, []float64{-1}, scratch)
+			dAction := dIn[len(tr.State):]
+			t.Actor.Backward(actTr, dAction, t.actorGrads)
+		}
+		t.actorGrads.Scale(inv)
+		t.actorGrads.ClipNorm(t.cfg.GradClip)
+		t.actorOpt.Step(t.Actor, t.actorGrads)
+
+		nn.SoftUpdate(t.actorTarget, t.Actor, t.cfg.Tau)
+		nn.SoftUpdate(t.c1Target, t.critic1, t.cfg.Tau)
+		nn.SoftUpdate(t.c2Target, t.critic2, t.cfg.Tau)
+	}
+	return tdErr * inv
+}

@@ -1,0 +1,163 @@
+package rl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/simcore"
+)
+
+// TrainConfig drives the distributed training loop of §4: several parallel
+// actors collect experience against independent environments while a single
+// learner performs batched TD3 updates between collection rounds.
+type TrainConfig struct {
+	Agent *TD3
+	// EnvFactory builds an independent environment for actor i. Called once
+	// per actor; environments persist across epochs (they re-Reset).
+	EnvFactory func(actor int) Env
+
+	Actors          int     // parallel experience collectors (paper: 8)
+	Epochs          int     // collection/update rounds
+	StepsPerActor   int     // env steps per actor per epoch
+	UpdatesPerEpoch int     // TD3 updates per epoch
+	BufferSize      int     // replay capacity
+	WarmupEpochs    int     // epochs with uniform-random actions
+	NoiseStd        float64 // exploration noise at epoch 0
+	NoiseDecay      float64 // multiplicative decay per epoch
+	Seed            uint64
+
+	// Progress, if non-nil, is called after each epoch with the mean
+	// per-step reward of the epoch's fresh experience and the mean TD error.
+	Progress func(epoch int, meanReward, tdErr float64)
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	EpochRewards []float64 // mean per-step reward per epoch
+	FinalTDErr   float64
+}
+
+// Train runs the collection/update loop and returns per-epoch statistics.
+func Train(cfg TrainConfig) (*TrainResult, error) {
+	if cfg.Agent == nil || cfg.EnvFactory == nil {
+		return nil, fmt.Errorf("rl: Train needs an agent and an env factory")
+	}
+	if cfg.Actors <= 0 {
+		cfg.Actors = 8
+	}
+	if cfg.StepsPerActor <= 0 {
+		cfg.StepsPerActor = 256
+	}
+	if cfg.UpdatesPerEpoch <= 0 {
+		cfg.UpdatesPerEpoch = 64
+	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 1 << 17
+	}
+	if cfg.NoiseStd == 0 {
+		cfg.NoiseStd = 0.3
+	}
+	if cfg.NoiseDecay == 0 {
+		cfg.NoiseDecay = 0.995
+	}
+
+	buf := NewReplayBuffer(cfg.BufferSize)
+	envs := make([]Env, cfg.Actors)
+	states := make([][]float64, cfg.Actors)
+	for i := range envs {
+		envs[i] = cfg.EnvFactory(i)
+		states[i] = envs[i].Reset()
+	}
+	actionDim := cfg.Agent.cfg.ActionDim
+
+	res := &TrainResult{}
+	noise := cfg.NoiseStd
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Snapshot the policy so collectors can run concurrently with no
+		// locking; each collector gets its own RNG stream.
+		policy := cfg.Agent.Actor.Clone()
+		warmup := epoch < cfg.WarmupEpochs
+
+		type chunk struct {
+			transitions []Transition
+			rewardSum   float64
+			steps       int
+			endState    []float64
+		}
+		chunks := make([]chunk, cfg.Actors)
+		var wg sync.WaitGroup
+		for ai := 0; ai < cfg.Actors; ai++ {
+			wg.Add(1)
+			go func(ai int) {
+				defer wg.Done()
+				rng := simcore.NewRNG(cfg.Seed ^ uint64(epoch)*0x9e3779b97f4a7c15 ^ uint64(ai)<<32)
+				env := envs[ai]
+				state := states[ai]
+				c := &chunks[ai]
+				for s := 0; s < cfg.StepsPerActor; s++ {
+					var action []float64
+					if warmup {
+						action = make([]float64, actionDim)
+						for i := range action {
+							action[i] = rng.Range(-1, 1)
+						}
+					} else {
+						action = forwardWithNoise(policy, state, noise, rng)
+					}
+					next, reward, done := env.Step(action)
+					c.transitions = append(c.transitions, Transition{
+						State: state, Action: action, Reward: reward,
+						NextState: next, Done: done,
+					})
+					c.rewardSum += reward
+					c.steps++
+					if done {
+						state = env.Reset()
+					} else {
+						state = next
+					}
+				}
+				c.endState = state
+			}(ai)
+		}
+		wg.Wait()
+
+		var rewardSum float64
+		var steps int
+		for ai := range chunks {
+			for _, tr := range chunks[ai].transitions {
+				buf.Add(tr)
+			}
+			rewardSum += chunks[ai].rewardSum
+			steps += chunks[ai].steps
+			states[ai] = chunks[ai].endState
+		}
+
+		var tdErr float64
+		for u := 0; u < cfg.UpdatesPerEpoch; u++ {
+			tdErr = cfg.Agent.Update(buf)
+		}
+		meanReward := rewardSum / float64(steps)
+		res.EpochRewards = append(res.EpochRewards, meanReward)
+		res.FinalTDErr = tdErr
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, meanReward, tdErr)
+		}
+		noise *= cfg.NoiseDecay
+	}
+	return res, nil
+}
+
+// forwardWithNoise evaluates a policy snapshot with exploration noise using
+// the collector's own RNG (the shared agent RNG is not goroutine-safe).
+func forwardWithNoise(policy *nn.MLP, state []float64, noiseStd float64, rng *simcore.RNG) []float64 {
+	a := policy.Forward(state)
+	for i := range a {
+		if noiseStd > 0 {
+			a[i] += rng.Norm(0, noiseStd)
+		}
+		a[i] = clip(a[i], -1, 1)
+	}
+	return a
+}

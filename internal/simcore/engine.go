@@ -1,0 +1,143 @@
+// Package simcore provides a deterministic discrete-event simulation engine:
+// a virtual clock, a time-ordered event queue, and seeded random number
+// generation. It is the foundation of the network emulator in
+// internal/netsim and of the RL training environments.
+package simcore
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (FIFO), which keeps simulations deterministic.
+type Event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// At reports the virtual time at which the event fires.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	nextSeq uint64
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending reports how many events are queued (including cancelled ones that
+// have not yet been drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics: it always indicates a simulation bug, and
+// silently clamping would corrupt causality.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("simcore: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter queues fn to run after delay d from the current time.
+func (e *Engine) ScheduleAfter(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue empties, the horizon is
+// reached, or Stop is called. Events scheduled exactly at the horizon still
+// fire; events strictly after it remain queued. It returns the number of
+// events executed.
+func (e *Engine) Run(horizon time.Duration) int {
+	if e.running {
+		panic("simcore: Run re-entered")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	executed := 0
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		executed++
+	}
+	if e.now < horizon && !e.stopped {
+		// Advance the clock to the horizon so repeated Run calls observe
+		// monotonic time even when the queue drains early.
+		e.now = horizon
+	}
+	return executed
+}

@@ -1,0 +1,104 @@
+package traces
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Mahimahi trace compatibility. The paper trains and evaluates over
+// Mahimahi link shells (§4), whose packet-delivery trace format is one
+// integer per line: a millisecond timestamp at which one MTU-sized (1500 B)
+// packet delivery opportunity occurs; the file loops forever. This parser
+// converts such a file into a piecewise-constant Trace so recorded cellular
+// traces (e.g. the Verizon LTE captures used by Fig. 12's lineage) can
+// drive the emulator directly.
+
+// MahimahiMTU is the packet size a Mahimahi delivery opportunity carries.
+const MahimahiMTU = 1500
+
+// ParseMahimahi reads a Mahimahi packet-delivery trace and returns a
+// looping step trace whose rate over each bucket (default 100 ms) is the
+// number of delivery opportunities in the bucket times the MTU.
+func ParseMahimahi(r io.Reader, bucket time.Duration) (*Step, error) {
+	if bucket <= 0 {
+		bucket = 100 * time.Millisecond
+	}
+	sc := bufio.NewScanner(r)
+	var deliveries []int64 // ms timestamps
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		ms, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("traces: mahimahi line %d: %q is not a millisecond timestamp", line, text)
+		}
+		if ms < 0 {
+			return nil, fmt.Errorf("traces: mahimahi line %d: negative timestamp %d", line, ms)
+		}
+		if n := len(deliveries); n > 0 && ms < deliveries[n-1] {
+			return nil, fmt.Errorf("traces: mahimahi line %d: timestamps not sorted (%d after %d)", line, ms, deliveries[n-1])
+		}
+		deliveries = append(deliveries, ms)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(deliveries) == 0 {
+		return nil, fmt.Errorf("traces: empty mahimahi trace")
+	}
+
+	span := time.Duration(deliveries[len(deliveries)-1]+1) * time.Millisecond
+	buckets := int((span + bucket - 1) / bucket)
+	if buckets < 1 {
+		buckets = 1
+	}
+	counts := make([]int, buckets)
+	for _, ms := range deliveries {
+		idx := int(time.Duration(ms) * time.Millisecond / bucket)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		counts[idx]++
+	}
+	points := make([]Point, buckets)
+	for i, c := range counts {
+		points[i] = Point{
+			At:   time.Duration(i) * bucket,
+			Rate: float64(c) * MahimahiMTU * 8 / bucket.Seconds(),
+		}
+	}
+	s := NewStep(points)
+	s.Loop = time.Duration(buckets) * bucket
+	return s, nil
+}
+
+// WriteMahimahi renders a trace as a Mahimahi packet-delivery file covering
+// [0, span): one line per MTU delivery opportunity. It is the inverse of
+// ParseMahimahi up to bucket quantization, useful for exporting synthetic
+// LTE traces to real Mahimahi shells.
+func WriteMahimahi(w io.Writer, tr Trace, span time.Duration) error {
+	if span <= 0 {
+		return fmt.Errorf("traces: non-positive span %v", span)
+	}
+	bw := bufio.NewWriter(w)
+	var carry float64 // fractional packets carried between milliseconds
+	for ms := int64(0); ms < span.Milliseconds(); ms++ {
+		rate := tr.RateAt(time.Duration(ms) * time.Millisecond)
+		carry += rate / 8 / MahimahiMTU / 1000 // packets this millisecond
+		for carry >= 1 {
+			if _, err := fmt.Fprintln(bw, ms); err != nil {
+				return err
+			}
+			carry--
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,100 @@
+package traces
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMahimahiConstantRate(t *testing.T) {
+	// One delivery per millisecond = 1500 B/ms = 12 Mbit/s.
+	var b strings.Builder
+	for ms := 0; ms < 1000; ms++ {
+		b.WriteString(strconv.Itoa(ms) + "\n")
+	}
+	tr, err := ParseMahimahi(strings.NewReader(b.String()), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := time.Duration(0); at < time.Second; at += 50 * time.Millisecond {
+		if r := tr.RateAt(at); math.Abs(r-12e6)/12e6 > 0.01 {
+			t.Fatalf("rate %v at %v, want 12e6", r, at)
+		}
+	}
+	// Looping: beyond the span it repeats.
+	if r := tr.RateAt(1500 * time.Millisecond); math.Abs(r-12e6)/12e6 > 0.01 {
+		t.Fatalf("looped rate %v", r)
+	}
+}
+
+func TestParseMahimahiStepChange(t *testing.T) {
+	// First 500 ms: 2 deliveries/ms (24 Mbps); next 500 ms: none (0 Mbps
+	// apart from the final-bucket artifact).
+	var b strings.Builder
+	for ms := 0; ms < 500; ms++ {
+		b.WriteString(strconv.Itoa(ms) + "\n" + strconv.Itoa(ms) + "\n")
+	}
+	b.WriteString("999\n") // keep the span at 1 s
+	tr, err := ParseMahimahi(strings.NewReader(b.String()), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tr.RateAt(200 * time.Millisecond); math.Abs(r-24e6)/24e6 > 0.01 {
+		t.Fatalf("busy-half rate %v", r)
+	}
+	if r := tr.RateAt(700 * time.Millisecond); r > 1e6 {
+		t.Fatalf("idle-half rate %v", r)
+	}
+}
+
+func TestParseMahimahiRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",        // empty
+		"abc\n",   // not a number
+		"-5\n",    // negative
+		"10\n5\n", // unsorted
+	}
+	for i, c := range cases {
+		if _, err := ParseMahimahi(strings.NewReader(c), 0); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestParseMahimahiSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# verizon downlink\n\n0\n1\n2\n"
+	if _, err := ParseMahimahi(strings.NewReader(in), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMahimahiRoundTrip(t *testing.T) {
+	// Synthesize an LTE trace, export to Mahimahi, re-import: mean rates
+	// must agree within quantization error.
+	orig, err := SynthesizeLTE(DefaultLTE(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMahimahi(&buf, orig, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseMahimahi(&buf, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origMean := MeanRate(orig, 10*time.Second, 100*time.Millisecond)
+	backMean := MeanRate(back, 10*time.Second, 100*time.Millisecond)
+	if math.Abs(origMean-backMean)/origMean > 0.05 {
+		t.Fatalf("round-trip mean %v vs original %v", backMean, origMean)
+	}
+}
+
+func TestWriteMahimahiRejectsBadSpan(t *testing.T) {
+	if err := WriteMahimahi(&bytes.Buffer{}, Constant(1e6), 0); err == nil {
+		t.Fatal("zero span accepted")
+	}
+}

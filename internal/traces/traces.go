@@ -1,0 +1,165 @@
+// Package traces provides bottleneck bandwidth traces for the network
+// emulator: constant rates, piecewise-constant step traces, and a synthetic
+// LTE generator reproducing the rapid capacity fluctuation of the cellular
+// traces used in the paper's Fig. 12 (which come from Winstein et al.,
+// NSDI'13 — proprietary capture; see DESIGN.md for the substitution note).
+package traces
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/simcore"
+)
+
+// Trace reports a link's capacity over time. Implementations are
+// piecewise-constant: the rate returned at time t holds until the next
+// breakpoint.
+type Trace interface {
+	// RateAt reports the capacity in bits/second at virtual time t.
+	RateAt(t time.Duration) float64
+}
+
+// Constant is a fixed-capacity trace.
+type Constant float64
+
+// RateAt implements Trace.
+func (c Constant) RateAt(time.Duration) float64 { return float64(c) }
+
+// Point is one breakpoint of a step trace: the capacity becomes Rate at
+// time At and holds until the next point.
+type Point struct {
+	At   time.Duration
+	Rate float64 // bits/second
+}
+
+// Step is a piecewise-constant trace defined by sorted breakpoints. Before
+// the first point it reports the first point's rate; after the last it holds
+// the last rate. If Loop is positive, the trace repeats with that period.
+type Step struct {
+	Points []Point
+	Loop   time.Duration
+}
+
+// NewStep builds a step trace, sorting points by time. It panics on an empty
+// point list: a capacity-less link is always a configuration bug.
+func NewStep(points []Point) *Step {
+	if len(points) == 0 {
+		panic("traces: step trace needs at least one point")
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	return &Step{Points: sorted}
+}
+
+// RateAt implements Trace.
+func (s *Step) RateAt(t time.Duration) float64 {
+	if s.Loop > 0 {
+		t = t % s.Loop
+	}
+	// Binary search for the last point at or before t.
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].At > t })
+	if i == 0 {
+		return s.Points[0].Rate
+	}
+	return s.Points[i-1].Rate
+}
+
+// LTEConfig parameterizes the synthetic cellular trace generator.
+type LTEConfig struct {
+	Mean     float64       // long-run mean capacity, bits/second
+	Min      float64       // floor, bits/second
+	Max      float64       // ceiling, bits/second
+	Interval time.Duration // how often capacity changes
+	Length   time.Duration // trace length (then loops)
+	// Volatility is the per-step standard deviation as a fraction of Mean;
+	// LTE links commonly swing 30-50% between seconds.
+	Volatility float64
+	Seed       uint64
+}
+
+// DefaultLTE mirrors the ~5 Mbps cellular link of the paper's Fig. 12:
+// capacity fluctuates every 500 ms between roughly 1 and 15 Mbps around a
+// 5 Mbps mean.
+func DefaultLTE(seed uint64) LTEConfig {
+	return LTEConfig{
+		Mean:       5e6,
+		Min:        1e6,
+		Max:        15e6,
+		Interval:   500 * time.Millisecond,
+		Length:     60 * time.Second,
+		Volatility: 0.4,
+		Seed:       seed,
+	}
+}
+
+// SynthesizeLTE builds a looping step trace via a mean-reverting bounded
+// random walk, the standard synthetic stand-in for recorded cellular traces.
+func SynthesizeLTE(cfg LTEConfig) (*Step, error) {
+	if cfg.Mean <= 0 || cfg.Min <= 0 || cfg.Max < cfg.Min {
+		return nil, fmt.Errorf("traces: invalid LTE config %+v", cfg)
+	}
+	if cfg.Interval <= 0 || cfg.Length < cfg.Interval {
+		return nil, fmt.Errorf("traces: LTE interval %v / length %v invalid", cfg.Interval, cfg.Length)
+	}
+	rng := simcore.NewRNG(cfg.Seed)
+	n := int(cfg.Length / cfg.Interval)
+	points := make([]Point, 0, n)
+	rate := cfg.Mean
+	for i := 0; i < n; i++ {
+		points = append(points, Point{At: time.Duration(i) * cfg.Interval, Rate: rate})
+		// Mean-reverting step: pull 30% back toward the mean, then jitter.
+		rate += 0.3*(cfg.Mean-rate) + rng.Norm(0, cfg.Volatility*cfg.Mean)
+		if rate < cfg.Min {
+			rate = cfg.Min
+		}
+		if rate > cfg.Max {
+			rate = cfg.Max
+		}
+	}
+	s := NewStep(points)
+	s.Loop = cfg.Length
+	return s, nil
+}
+
+// Jittered wraps a base trace with multiplicative noise resampled on a fixed
+// period — used by the emulated "real-world WAN" profiles (Fig. 13), where
+// cross-traffic makes the available capacity non-stationary.
+type Jittered struct {
+	Base   Trace
+	Period time.Duration
+	// Amplitude is the max fractional deviation, e.g. 0.15 for ±15%.
+	Amplitude float64
+	Seed      uint64
+}
+
+// RateAt implements Trace. The jitter factor is a pure function of the
+// period index, so the trace is deterministic and needs no state.
+func (j *Jittered) RateAt(t time.Duration) float64 {
+	base := j.Base.RateAt(t)
+	if j.Period <= 0 || j.Amplitude <= 0 {
+		return base
+	}
+	idx := uint64(t / j.Period)
+	r := simcore.NewRNG(j.Seed ^ (idx+1)*0x9e3779b97f4a7c15)
+	f := 1 + j.Amplitude*(2*r.Float64()-1)
+	return base * f
+}
+
+// MeanRate reports the time-average capacity of tr over [0, horizon],
+// sampled at the given resolution. Useful for computing link utilization on
+// variable links.
+func MeanRate(tr Trace, horizon, resolution time.Duration) float64 {
+	if horizon <= 0 || resolution <= 0 {
+		return tr.RateAt(0)
+	}
+	var sum float64
+	var n int
+	for t := time.Duration(0); t < horizon; t += resolution {
+		sum += tr.RateAt(t)
+		n++
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,181 @@
+package traces
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstantTrace(t *testing.T) {
+	tr := Constant(100e6)
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if tr.RateAt(at) != 100e6 {
+			t.Fatalf("constant trace returned %v at %v", tr.RateAt(at), at)
+		}
+	}
+}
+
+func TestStepTraceLookup(t *testing.T) {
+	tr := NewStep([]Point{
+		{At: 0, Rate: 10e6},
+		{At: time.Second, Rate: 20e6},
+		{At: 3 * time.Second, Rate: 5e6},
+	})
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 10e6},
+		{500 * time.Millisecond, 10e6},
+		{time.Second, 20e6},
+		{2 * time.Second, 20e6},
+		{3 * time.Second, 5e6},
+		{time.Hour, 5e6},
+	}
+	for _, c := range cases {
+		if got := tr.RateAt(c.at); got != c.want {
+			t.Errorf("RateAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestStepTraceSortsPoints(t *testing.T) {
+	tr := NewStep([]Point{
+		{At: 2 * time.Second, Rate: 2},
+		{At: 0, Rate: 1},
+	})
+	if tr.RateAt(time.Second) != 1 {
+		t.Fatal("unsorted points not handled")
+	}
+}
+
+func TestStepTraceLoop(t *testing.T) {
+	tr := NewStep([]Point{
+		{At: 0, Rate: 1},
+		{At: time.Second, Rate: 2},
+	})
+	tr.Loop = 2 * time.Second
+	if tr.RateAt(2500*time.Millisecond) != 1 {
+		t.Fatalf("loop lookup failed: %v", tr.RateAt(2500*time.Millisecond))
+	}
+	if tr.RateAt(3500*time.Millisecond) != 2 {
+		t.Fatalf("loop lookup failed: %v", tr.RateAt(3500*time.Millisecond))
+	}
+}
+
+func TestStepEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty step trace did not panic")
+		}
+	}()
+	NewStep(nil)
+}
+
+func TestLTETraceBounds(t *testing.T) {
+	cfg := DefaultLTE(42)
+	tr, err := SynthesizeLTE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for at := time.Duration(0); at < 2*cfg.Length; at += 100 * time.Millisecond {
+		r := tr.RateAt(at)
+		if r < cfg.Min || r > cfg.Max {
+			t.Fatalf("LTE rate %v at %v outside [%v, %v]", r, at, cfg.Min, cfg.Max)
+		}
+	}
+}
+
+func TestLTETraceMeanNearConfig(t *testing.T) {
+	cfg := DefaultLTE(7)
+	tr, err := SynthesizeLTE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := MeanRate(tr, cfg.Length, cfg.Interval)
+	if math.Abs(mean-cfg.Mean)/cfg.Mean > 0.35 {
+		t.Fatalf("LTE mean %v too far from configured %v", mean, cfg.Mean)
+	}
+}
+
+func TestLTETraceActuallyFluctuates(t *testing.T) {
+	tr, err := SynthesizeLTE(DefaultLTE(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for at := time.Duration(0); at < 60*time.Second; at += 500 * time.Millisecond {
+		r := tr.RateAt(at)
+		lo, hi = math.Min(lo, r), math.Max(hi, r)
+	}
+	if hi/lo < 2 {
+		t.Fatalf("LTE trace too flat: min %v max %v", lo, hi)
+	}
+}
+
+func TestLTETraceDeterministic(t *testing.T) {
+	a, _ := SynthesizeLTE(DefaultLTE(9))
+	b, _ := SynthesizeLTE(DefaultLTE(9))
+	for at := time.Duration(0); at < 10*time.Second; at += 250 * time.Millisecond {
+		if a.RateAt(at) != b.RateAt(at) {
+			t.Fatal("same-seed LTE traces diverge")
+		}
+	}
+}
+
+func TestLTEConfigValidation(t *testing.T) {
+	bad := []LTEConfig{
+		{Mean: 0, Min: 1, Max: 2, Interval: time.Second, Length: time.Minute},
+		{Mean: 5, Min: 10, Max: 2, Interval: time.Second, Length: time.Minute},
+		{Mean: 5, Min: 1, Max: 10, Interval: 0, Length: time.Minute},
+		{Mean: 5, Min: 1, Max: 10, Interval: time.Minute, Length: time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := SynthesizeLTE(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestJitteredBoundsAndDeterminism(t *testing.T) {
+	j := &Jittered{Base: Constant(100e6), Period: time.Second, Amplitude: 0.2, Seed: 5}
+	for at := time.Duration(0); at < time.Minute; at += 100 * time.Millisecond {
+		r := j.RateAt(at)
+		if r < 80e6-1 || r > 120e6+1 {
+			t.Fatalf("jittered rate %v outside ±20%%", r)
+		}
+		if r != j.RateAt(at) {
+			t.Fatal("jittered trace not deterministic")
+		}
+	}
+}
+
+func TestJitteredZeroAmplitudePassesThrough(t *testing.T) {
+	j := &Jittered{Base: Constant(42), Period: time.Second}
+	if j.RateAt(5*time.Second) != 42 {
+		t.Fatal("zero-amplitude jitter modified the rate")
+	}
+}
+
+func TestMeanRateOfStep(t *testing.T) {
+	tr := NewStep([]Point{
+		{At: 0, Rate: 10},
+		{At: time.Second, Rate: 30},
+	})
+	// Over [0, 2s): 1s at 10 + 1s at 30 = mean 20.
+	got := MeanRate(tr, 2*time.Second, 10*time.Millisecond)
+	if math.Abs(got-20) > 0.5 {
+		t.Fatalf("mean rate %v, want ~20", got)
+	}
+}
+
+func TestStepRateAtNeverPanics(t *testing.T) {
+	tr := NewStep([]Point{{At: time.Second, Rate: 5}})
+	if err := quick.Check(func(ms uint32) bool {
+		r := tr.RateAt(time.Duration(ms) * time.Millisecond)
+		return r == 5
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
