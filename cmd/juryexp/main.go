@@ -31,6 +31,7 @@ var experiments = []struct {
 	{"fig4", "Fig. 4: signal phases vs. increasing sending rate", runFig4},
 	{"fig5", "Fig. 5: throughput response to a +10% probe vs. occupancy", runFig5},
 	{"fig6", "Fig. 6: average Jain index across random environments", runFig6},
+	{"fig7", "Fig. 7: all eight convergence panels (parallel)", runFig7All},
 	{"fig7a", "Fig. 7(a): 3 Jury flows, 50 Mbps / 30 ms", runFig7("a")},
 	{"fig7b", "Fig. 7(b): 3 Jury flows, 350 Mbps / 30 ms", runFig7("b")},
 	{"fig7c", "Fig. 7(c): 3 Jury flows, 350 Mbps / 150 ms", runFig7("c")},
@@ -211,6 +212,23 @@ func runFig7(panel string) func(bool, uint64) error {
 		printSeries(res.Series)
 		return nil
 	}
+}
+
+func runFig7All(full bool, seed uint64) error {
+	o := exp.Fig7Options{Seed: seed}
+	if !full {
+		o.Stagger, o.Lifetime = 20*time.Second, 60*time.Second
+	}
+	results, err := exp.Fig7AllPanels(o)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		p := res.Panel
+		fmt.Printf("panel %s: %s @ %s Mbps / %v RTT / %.1f%% loss — time-averaged Jain %.3f, utilization %.3f\n",
+			p.ID, p.Scheme, exp.FmtMbps(p.Rate), p.RTT, p.Loss*100, res.Jain, res.Utilization)
+	}
+	return nil
 }
 
 func printSeries(series []exp.FlowSeriesRow) {

@@ -80,6 +80,11 @@ func TestJuryFairnessInTrainingDomain(t *testing.T) {
 }
 
 func TestJuryFairnessGeneralizesBeyondTraining(t *testing.T) {
+	if testing.Short() {
+		// The claim is specifically about a link 3.5x beyond the training
+		// maximum; shrinking the rate or horizon would test something else.
+		t.Skip("full-scale unseen-environment emulation")
+	}
 	// The headline claim (Fig. 1 vs Fig. 7b): a 350 Mbps link is 3.5x the
 	// training maximum, and fairness must hold anyway.
 	n := netsim.New(netsim.Config{Seed: 3})
@@ -132,6 +137,9 @@ func TestJuryLossResilience(t *testing.T) {
 }
 
 func TestJuryHighBDPConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale high-BDP emulation")
+	}
 	// 350 Mbps, 150 ms RTT (Fig. 7c): convergence is slower but must reach
 	// high utilization.
 	n := netsim.New(netsim.Config{Seed: 6})

@@ -67,6 +67,22 @@ type Config struct {
 
 	// MinCwnd floors the congestion window (packets).
 	MinCwnd float64
+	// MaxCwnd caps the congestion window (packets). Eq. 7 is a pure
+	// multiplicative update; without a ceiling a flow whose signals go flat
+	// at a saturated bottleneck (RTT pinned at the full buffer, loss steady
+	// so the ratio signal telescopes to zero) ratchets its window upward
+	// without bound. Deployed Jury inherits the kernel's window limit; the
+	// emulation needs an explicit one. Zero selects the default.
+	MaxCwnd float64
+	// CollapseLoss is the congestion-collapse guard: when an interval's
+	// loss rate reaches this level, the window is far beyond what the path
+	// delivers and Jury retreats maximally instead of consulting the model
+	// (generalizing the §3.4 blackout rule). The policy itself cannot see
+	// this — its loss signal carries only interval-to-interval *changes*,
+	// so a steady severe loss level is invisible to it by design. Well
+	// above any random-loss environment Jury must stay efficient in
+	// (Fig. 10c uses ≤1%). Zero selects the default.
+	CollapseLoss float64
 
 	// Seed drives the exploration-action coin flips.
 	Seed uint64
@@ -91,6 +107,8 @@ func DefaultConfig() Config {
 		OccupancyMax:       1.0,
 		SignalClamp:        1.0,
 		MinCwnd:            2,
+		MaxCwnd:            1 << 17,
+		CollapseLoss:       0.1,
 		Seed:               1,
 	}
 }
@@ -112,6 +130,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: occupancy window %d < 1", c.OccupancyWindow)
 	case c.OccupancyMin < 0 || c.OccupancyMax > 1 || c.OccupancyMin >= c.OccupancyMax:
 		return fmt.Errorf("core: occupancy bounds [%v,%v] invalid", c.OccupancyMin, c.OccupancyMax)
+	case c.MaxCwnd != 0 && c.MaxCwnd < c.MinCwnd:
+		return fmt.Errorf("core: max cwnd %v below min cwnd %v", c.MaxCwnd, c.MinCwnd)
+	case c.CollapseLoss < 0 || c.CollapseLoss > 1:
+		return fmt.Errorf("core: collapse-loss threshold %v outside [0,1]", c.CollapseLoss)
 	}
 	return nil
 }

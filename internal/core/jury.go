@@ -49,6 +49,14 @@ func New(cfg Config, policy Policy) *Jury {
 	if policy == nil {
 		policy = NewReferencePolicy()
 	}
+	// Zero means "default" so hand-rolled Configs predating these fields
+	// keep working.
+	if cfg.MaxCwnd == 0 {
+		cfg.MaxCwnd = 1 << 17
+	}
+	if cfg.CollapseLoss == 0 {
+		cfg.CollapseLoss = 0.1
+	}
 	return &Jury{
 		cfg:         cfg,
 		policy:      policy,
@@ -115,6 +123,14 @@ func (j *Jury) OnInterval(s cc.IntervalStats) {
 	case s.AckedPackets < j.cfg.MinIntervalPackets && s.LostPackets > 0:
 		// Too few samples to trust the model, and losses present: retreat.
 		j.applyAction(-1)
+	case loss >= j.cfg.CollapseLoss:
+		// Congestion collapse: the window is far beyond what the path
+		// delivers. The policy cannot react — at a saturated buffer the
+		// RTT difference is flat and the loss-ratio signal only carries
+		// changes, so a steady severe loss level is invisible to it —
+		// which otherwise lets Eq. 7 ratchet the window upward while
+		// every surplus packet is dropped, starving competing flows.
+		j.applyAction(-1)
 	case s.AckedPackets < j.cfg.MinIntervalPackets:
 		// Statistics-significance rule (§3.4): too few samples for a
 		// reliable decision — keep maximally increasing the sending rate.
@@ -166,6 +182,9 @@ func (j *Jury) applyAction(a float64) {
 	if j.cwnd < j.cfg.MinCwnd {
 		j.cwnd = j.cfg.MinCwnd
 	}
+	if j.cwnd > j.cfg.MaxCwnd {
+		j.cwnd = j.cfg.MaxCwnd
+	}
 }
 
 // slowStartStep doubles the window while the flow is too small to produce
@@ -183,9 +202,8 @@ func (j *Jury) slowStartStep(s cc.IntervalStats) {
 	j.lastGrowAt = s.Now
 	j.lastAction = 1
 	j.cwnd *= 2
-	const maxCwnd = 1 << 17
-	if j.cwnd > maxCwnd {
-		j.cwnd = maxCwnd
+	if j.cwnd > j.cfg.MaxCwnd {
+		j.cwnd = j.cfg.MaxCwnd
 	}
 }
 

@@ -19,11 +19,18 @@ type Policy interface {
 // is μ directly (tanh ∈ [−1,1]); output 1 maps [−1,1] → [0,1] as δ.
 type NNPolicy struct {
 	Net *nn.MLP
+
+	// scratch makes per-decision inference allocation-free. Lazily built so
+	// zero-value construction (NNPolicy{Net: ...}) keeps working.
+	scratch *nn.Scratch
 }
 
 // Decide implements Policy.
 func (p *NNPolicy) Decide(state []float64) (float64, float64) {
-	out := p.Net.Forward(state)
+	if p.scratch == nil {
+		p.scratch = nn.NewScratch(p.Net)
+	}
+	out := p.Net.ForwardInto(state, p.scratch)
 	mu := cc.Clamp(out[0], -1, 1)
 	delta := cc.Clamp((out[1]+1)/2, 0, 1)
 	return mu, delta

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cc"
@@ -76,11 +77,19 @@ func AblationVariants() map[string]func(seed uint64) cc.Algorithm {
 	}
 }
 
-// RunAblation runs the 3-flow scenario for each variant.
+// RunAblation runs the 3-flow scenario for each variant (in sorted variant
+// order, one simulation per worker).
 func RunAblation(o AblationOptions) ([]AblationRow, error) {
 	o.defaults()
-	var rows []AblationRow
-	for name, mk := range AblationVariants() {
+	variants := AblationVariants()
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]AblationRow, len(names))
+	err := parallelFor(len(names), func(vi int) error {
+		mk := variants[names[vi]]
 		n := netsim.New(netsim.Config{Seed: o.Seed})
 		link := n.AddLink(netsim.LinkConfig{
 			Rate: o.Rate, Delay: 15 * time.Millisecond,
@@ -101,12 +110,16 @@ func RunAblation(o AblationOptions) ([]AblationRow, error) {
 		for _, f := range n.Flows() {
 			q += metrics.MeanQueuingDelayMS(f, horizon/2, horizon)
 		}
-		rows = append(rows, AblationRow{
-			Variant:     name,
+		rows[vi] = AblationRow{
+			Variant:     names[vi],
 			Jain:        metrics.TimewiseJain(n.Flows()),
 			Utilization: link.Utilization(horizon),
 			QueueMS:     q / float64(len(n.Flows())),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

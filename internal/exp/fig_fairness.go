@@ -88,24 +88,19 @@ func (o *Fig1Options) defaults() {
 // training region and fails to converge on an unseen 350 Mbps link.
 func Fig1AstraeaGeneralization(o Fig1Options) (*Fig1Result, error) {
 	o.defaults()
-	run := func(rate float64) (float64, []FlowSeriesRow, error) {
-		res, err := Run(threeFlowScenario("astraea", rate, 15*time.Millisecond, 0, 1.5, o.Stagger, o.Lifetime, o.Seed+uint64(rate/1e6)))
-		if err != nil {
-			return 0, nil, err
-		}
-		return metrics.TimewiseJain(res.Flows), seriesRows(res.Flows, 5*time.Second), nil
+	jobs := make([]Scenario, 0, 2)
+	for _, rate := range []float64{100e6, 350e6} {
+		jobs = append(jobs, threeFlowScenario("astraea", rate, 15*time.Millisecond, 0, 1.5, o.Stagger, o.Lifetime, o.Seed+uint64(rate/1e6)))
 	}
-	in, inSeries, err := run(100e6)
-	if err != nil {
-		return nil, err
-	}
-	out, outSeries, err := run(350e6)
+	results, err := RunMany(jobs)
 	if err != nil {
 		return nil, err
 	}
 	return &Fig1Result{
-		InDomainJain: in, OutOfDomainJain: out,
-		InDomainSeries: inSeries, OutDomainSeries: outSeries,
+		InDomainJain:    metrics.TimewiseJain(results[0].Flows),
+		OutOfDomainJain: metrics.TimewiseJain(results[1].Flows),
+		InDomainSeries:  seriesRows(results[0].Flows, 5*time.Second),
+		OutDomainSeries: seriesRows(results[1].Flows, 5*time.Second),
 	}, nil
 }
 
@@ -154,20 +149,28 @@ func (o *Fig6Options) defaults() {
 // time-averaged Jain indices per scheme.
 func Fig6JainIndex(o Fig6Options) ([]Fig6Row, error) {
 	o.defaults()
-	rows := make([]Fig6Row, 0, len(o.Schemes))
+	// Sample every environment first, sequentially, so each scheme's RNG
+	// stream is consumed in the same order as the original nested loops;
+	// only the simulation runs fan out.
+	jobs := make([]Scenario, 0, len(o.Schemes)*o.Runs)
 	for _, scheme := range o.Schemes {
 		rng := simcore.NewRNG(o.Seed ^ hash(scheme))
-		var jains []float64
 		for r := 0; r < o.Runs; r++ {
 			rate := rng.Range(20e6, o.MaxRate)
 			owd := time.Duration(rng.Range(float64(10*time.Millisecond), float64(75*time.Millisecond)))
 			loss := rng.Range(0, 0.003)
-			s := threeFlowScenario(scheme, rate, owd, loss, 1.5, o.Stagger, o.Lifetime, o.Seed+uint64(r))
-			res, err := Run(s)
-			if err != nil {
-				return nil, err
-			}
-			jains = append(jains, metrics.TimewiseJain(res.Flows))
+			jobs = append(jobs, threeFlowScenario(scheme, rate, owd, loss, 1.5, o.Stagger, o.Lifetime, o.Seed+uint64(r)))
+		}
+	}
+	results, err := RunMany(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, 0, len(o.Schemes))
+	for si, scheme := range o.Schemes {
+		var jains []float64
+		for r := 0; r < o.Runs; r++ {
+			jains = append(jains, metrics.TimewiseJain(results[si*o.Runs+r].Flows))
 		}
 		rows = append(rows, Fig6Row{
 			Scheme:   scheme,
@@ -248,6 +251,10 @@ func Fig7Convergence(p Fig7Panel, o Fig7Options) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return fig7Result(p, o, res), nil
+}
+
+func fig7Result(p Fig7Panel, o Fig7Options, res *RunResult) *Fig7Result {
 	last := res.Flows[len(res.Flows)-1]
 	return &Fig7Result{
 		Panel:               p,
@@ -255,7 +262,27 @@ func Fig7Convergence(p Fig7Panel, o Fig7Options) (*Fig7Result, error) {
 		Utilization:         res.Utilization,
 		LastJoinConvergence: metrics.ConvergenceTime(last, 2*o.Stagger, p.Rate/3, 0.8, 5),
 		Series:              seriesRows(res.Flows, 5*time.Second),
-	}, nil
+	}
+}
+
+// Fig7AllPanels runs every published panel of Fig. 7, fanning the
+// simulations out over the parallel runner.
+func Fig7AllPanels(o Fig7Options) ([]*Fig7Result, error) {
+	o.defaults()
+	panels := Fig7Panels()
+	jobs := make([]Scenario, len(panels))
+	for i, p := range panels {
+		jobs[i] = threeFlowScenario(p.Scheme, p.Rate, p.RTT/2, p.Loss, 1.5, o.Stagger, o.Lifetime, o.Seed+hash(p.ID))
+	}
+	results, err := RunMany(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Fig7Result, len(panels))
+	for i, p := range panels {
+		out[i] = fig7Result(p, o, results[i])
+	}
+	return out, nil
 }
 
 // Fig8Result is the RTT-fairness experiment outcome.
@@ -362,6 +389,7 @@ func (o *Fig9Options) defaults() {
 // buffer and reports the throughput ratio across base RTTs.
 func Fig9Friendliness(o Fig9Options) ([]Fig9Row, error) {
 	o.defaults()
+	var jobs []Scenario
 	var rows []Fig9Row
 	for _, scheme := range o.Schemes {
 		for _, rtt := range o.RTTs {
@@ -377,18 +405,21 @@ func Fig9Friendliness(o Fig9Options) ([]Fig9Row, error) {
 				},
 			}
 			s.BufferBytes = s.BufferBDP(1)
-			res, err := Run(s)
-			if err != nil {
-				return nil, err
-			}
-			from := o.Lifetime / 3
-			a := metrics.MeanThroughput(res.Flows[0], from, o.Lifetime)
-			b := metrics.MeanThroughput(res.Flows[1], from, o.Lifetime)
-			ratio := math.Inf(1)
-			if b > 0 {
-				ratio = a / b
-			}
-			rows = append(rows, Fig9Row{Scheme: scheme, RTT: rtt, Ratio: ratio})
+			jobs = append(jobs, s)
+			rows = append(rows, Fig9Row{Scheme: scheme, RTT: rtt})
+		}
+	}
+	results, err := RunMany(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		from := o.Lifetime / 3
+		a := metrics.MeanThroughput(res.Flows[0], from, o.Lifetime)
+		b := metrics.MeanThroughput(res.Flows[1], from, o.Lifetime)
+		rows[i].Ratio = math.Inf(1)
+		if b > 0 {
+			rows[i].Ratio = a / b
 		}
 	}
 	return rows, nil

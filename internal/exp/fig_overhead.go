@@ -51,10 +51,18 @@ func (o *Fig14Options) defaults() {
 
 // nnActPolicy adapts a raw MLP to the scalar-action policy interfaces of
 // the DRL baselines, so the overhead measurement exercises real 2x128
-// inference like the deployed systems do.
-type nnActPolicy struct{ net *nn.MLP }
+// inference like the deployed systems do. Inference reuses a per-policy
+// scratch, matching the allocation-free deployment path.
+type nnActPolicy struct {
+	net     *nn.MLP
+	scratch *nn.Scratch
+}
 
-func (p nnActPolicy) Act(state []float64) float64 { return p.net.Forward(state)[0] }
+func newNNActPolicy(net *nn.MLP) *nnActPolicy {
+	return &nnActPolicy{net: net, scratch: nn.NewScratch(net)}
+}
+
+func (p *nnActPolicy) Act(state []float64) float64 { return p.net.ForwardInto(state, p.scratch)[0] }
 
 // newOverheadScheme builds each scheme with NN-backed policies where the
 // deployed system runs NN inference.
@@ -72,11 +80,11 @@ func newOverheadScheme(name string, seed uint64) (cc.Algorithm, error) {
 	case "jury-ref":
 		return core.NewDefault(seed), nil
 	case "aurora":
-		return aurora.New(aurora.DefaultConfig(), nnActPolicy{mlp(aurora.StateDim)}), nil
+		return aurora.New(aurora.DefaultConfig(), newNNActPolicy(mlp(aurora.StateDim))), nil
 	case "astraea":
-		return astraea.New(astraea.DefaultConfig(), nnActPolicy{mlp(astraea.StateDim)}), nil
+		return astraea.New(astraea.DefaultConfig(), newNNActPolicy(mlp(astraea.StateDim))), nil
 	case "orca":
-		return orca.New(orca.DefaultConfig(), nnActPolicy{mlp(orca.StateDim)}), nil
+		return orca.New(orca.DefaultConfig(), newNNActPolicy(mlp(orca.StateDim))), nil
 	default:
 		return NewScheme(name, seed)
 	}

@@ -63,8 +63,9 @@ const (
 // Fig10PerformanceSweeps runs all four single-flow sweeps for each scheme.
 func Fig10PerformanceSweeps(o Fig10Options) ([]Fig10Row, error) {
 	o.defaults()
+	var jobs []Scenario
 	var rows []Fig10Row
-	run := func(scheme, param string, x float64, rate float64, owd time.Duration, loss, bufBDP float64) error {
+	add := func(scheme, param string, x float64, rate float64, owd time.Duration, loss, bufBDP float64) {
 		s := Scenario{
 			Name:        fmt.Sprintf("fig10-%s-%s-%v", scheme, param, x),
 			Rate:        rate,
@@ -78,40 +79,30 @@ func Fig10PerformanceSweeps(o Fig10Options) ([]Fig10Row, error) {
 		if rate >= 500e6 {
 			s.PacketSize = 6000 // bound event counts on fast links
 		}
-		res, err := Run(s)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, Fig10Row{
-			Scheme:       scheme,
-			Param:        param,
-			X:            x,
-			Utilization:  res.Utilization,
-			QueuingDelay: metrics.MeanQueuingDelayMS(res.Flows[0], o.Lifetime/2, o.Lifetime),
-		})
-		return nil
+		jobs = append(jobs, s)
+		rows = append(rows, Fig10Row{Scheme: scheme, Param: param, X: x})
 	}
 	for _, scheme := range o.Schemes {
 		for _, bw := range o.Bandwidths {
-			if err := run(scheme, "bandwidth", bw/1e6, bw, fig10BaseOWD, 0, fig10BaseBDP); err != nil {
-				return nil, err
-			}
+			add(scheme, "bandwidth", bw/1e6, bw, fig10BaseOWD, 0, fig10BaseBDP)
 		}
 		for _, d := range o.Delays {
-			if err := run(scheme, "delay", float64(d)/1e6, fig10BaseRate, d, 0, fig10BaseBDP); err != nil {
-				return nil, err
-			}
+			add(scheme, "delay", float64(d)/1e6, fig10BaseRate, d, 0, fig10BaseBDP)
 		}
 		for _, l := range o.Losses {
-			if err := run(scheme, "loss", l, fig10BaseRate, fig10BaseOWD, l, fig10BaseBDP); err != nil {
-				return nil, err
-			}
+			add(scheme, "loss", l, fig10BaseRate, fig10BaseOWD, l, fig10BaseBDP)
 		}
 		for _, b := range o.BufferBDPs {
-			if err := run(scheme, "buffer", b, fig10BaseRate, fig10BaseOWD, 0, b); err != nil {
-				return nil, err
-			}
+			add(scheme, "buffer", b, fig10BaseRate, fig10BaseOWD, 0, b)
 		}
+	}
+	results, err := RunMany(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rows[i].Utilization = res.Utilization
+		rows[i].QueuingDelay = metrics.MeanQueuingDelayMS(res.Flows[0], o.Lifetime/2, o.Lifetime)
 	}
 	return rows, nil
 }
@@ -144,7 +135,7 @@ func (o *Fig11Options) defaults(schemes []string) {
 // runPareto runs one flow per scheme over the given link and reports the
 // throughput/latency Pareto points.
 func runPareto(o Fig11Options, rate float64, owd time.Duration, loss float64, bufBDP float64, pktSize int) ([]Fig11Row, error) {
-	var rows []Fig11Row
+	jobs := make([]Scenario, 0, len(o.Schemes))
 	for _, scheme := range o.Schemes {
 		s := Scenario{
 			Name:        fmt.Sprintf("pareto-%s", scheme),
@@ -157,20 +148,29 @@ func runPareto(o Fig11Options, rate float64, owd time.Duration, loss float64, bu
 			Flows:       []FlowSpec{{Scheme: scheme}},
 		}
 		s.BufferBytes = s.BufferBDP(bufBDP)
-		res, err := Run(s)
-		if err != nil {
-			return nil, err
-		}
-		f := res.Flows[0]
-		thr := metrics.MeanThroughput(f, o.Lifetime/3, o.Lifetime)
-		rtt := metrics.MeanRTT(f, o.Lifetime/3, o.Lifetime)
-		norm := 1.0
-		if base := f.BaseRTT(); base > 0 && rtt > 0 {
-			norm = float64(rtt) / float64(base)
-		}
-		rows = append(rows, Fig11Row{Scheme: scheme, ThroughputBps: thr, NormalizedDelay: norm})
+		jobs = append(jobs, s)
+	}
+	results, err := RunMany(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig11Row, 0, len(results))
+	for i, res := range results {
+		rows = append(rows, paretoRow(o.Schemes[i], res, o.Lifetime))
 	}
 	return rows, nil
+}
+
+// paretoRow reduces one single-flow run to its throughput/latency point.
+func paretoRow(scheme string, res *RunResult, lifetime time.Duration) Fig11Row {
+	f := res.Flows[0]
+	thr := metrics.MeanThroughput(f, lifetime/3, lifetime)
+	rtt := metrics.MeanRTT(f, lifetime/3, lifetime)
+	norm := 1.0
+	if base := f.BaseRTT(); base > 0 && rtt > 0 {
+		norm = float64(rtt) / float64(base)
+	}
+	return Fig11Row{Scheme: scheme, ThroughputBps: thr, NormalizedDelay: norm}
 }
 
 // Fig11Satellite reproduces Fig. 11(a): 42 Mbps, 800 ms RTT, 0.74% loss.
@@ -225,8 +225,9 @@ func Fig12LTEResponsiveness(o Fig12Options) ([]Fig12Row, error) {
 	for t := time.Duration(0); t < o.Lifetime; t += time.Second {
 		rows = append(rows, Fig12Row{T: t, Scheme: "capacity", SendRateBps: tr.RateAt(t)})
 	}
+	jobs := make([]Scenario, 0, len(o.Schemes))
 	for _, scheme := range o.Schemes {
-		s := Scenario{
+		jobs = append(jobs, Scenario{
 			Name:        "fig12-" + scheme,
 			Trace:       tr,
 			Rate:        cfg.Mean,
@@ -235,11 +236,14 @@ func Fig12LTEResponsiveness(o Fig12Options) ([]Fig12Row, error) {
 			Seed:        o.Seed + hash(scheme),
 			Horizon:     o.Lifetime,
 			Flows:       []FlowSpec{{Scheme: scheme}},
-		}
-		res, err := Run(s)
-		if err != nil {
-			return nil, err
-		}
+		})
+	}
+	results, err := RunMany(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		scheme := o.Schemes[i]
 		var acc float64
 		var n int
 		next := time.Second
@@ -312,7 +316,7 @@ func Fig13WAN(intra bool, o Fig13Options) ([]Fig11Row, error) {
 	if !intra {
 		rate, owd = 1.2e9, 110*time.Millisecond
 	}
-	var rows []Fig11Row
+	jobs := make([]Scenario, 0, len(o.Schemes))
 	for _, scheme := range o.Schemes {
 		s := Scenario{
 			Name:        fmt.Sprintf("fig13-%s", scheme),
@@ -325,18 +329,15 @@ func Fig13WAN(intra bool, o Fig13Options) ([]Fig11Row, error) {
 			Flows:       []FlowSpec{{Scheme: scheme}},
 		}
 		s.BufferBytes = s.BufferBDP(1.5)
-		res, err := Run(s)
-		if err != nil {
-			return nil, err
-		}
-		f := res.Flows[0]
-		thr := metrics.MeanThroughput(f, o.Lifetime/3, o.Lifetime)
-		rtt := metrics.MeanRTT(f, o.Lifetime/3, o.Lifetime)
-		norm := 1.0
-		if base := f.BaseRTT(); base > 0 && rtt > 0 {
-			norm = float64(rtt) / float64(base)
-		}
-		rows = append(rows, Fig11Row{Scheme: scheme, ThroughputBps: thr, NormalizedDelay: norm})
+		jobs = append(jobs, s)
+	}
+	results, err := RunMany(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig11Row, 0, len(results))
+	for i, res := range results {
+		rows = append(rows, paretoRow(o.Schemes[i], res, o.Lifetime))
 	}
 	return rows, nil
 }

@@ -76,18 +76,24 @@ func (a *flowAgg) row(exp, class string) Tab3Row {
 // of short flows with Poisson arrivals (λ=4/s) and N(4,1)-second lifetimes.
 func Tab3LongShort(o Tab3Options) ([]Tab3Row, error) {
 	o.defaults()
-	var long, short, overall flowAgg
-	for rep := 0; rep < o.Repeats; rep++ {
+	// Each repeat owns its engine and RNG, so repeats fan out across the
+	// worker pool; aggregation below walks them in repeat order, keeping the
+	// result identical to the sequential loop.
+	type repFlows struct {
+		longs, shorts []*netsim.Flow
+	}
+	reps := make([]repFlows, o.Repeats)
+	err := parallelFor(o.Repeats, func(rep int) error {
 		rng := simcore.NewRNG(o.Seed + uint64(rep)*77)
 		n := netsim.New(netsim.Config{Seed: rng.Uint64()})
 		link := n.AddLink(netsim.LinkConfig{
 			Rate: o.Rate, Delay: 15 * time.Millisecond,
 			BufferBytes: int(o.Rate / 8 * 0.030),
 		})
-		var longs, shorts []*netsim.Flow
+		r := &reps[rep]
 		for i := 0; i < 4; i++ {
 			seed := rng.Uint64()
-			longs = append(longs, n.AddFlow(netsim.FlowConfig{
+			r.longs = append(r.longs, n.AddFlow(netsim.FlowConfig{
 				Name: fmt.Sprintf("long-%d", i), Path: []*netsim.Link{link},
 				CC: func() cc.Algorithm { return core.NewDefault(seed) },
 			}))
@@ -99,20 +105,27 @@ func Tab3LongShort(o Tab3Options) ([]Tab3Row, error) {
 				life = 0.5
 			}
 			seed := rng.Uint64()
-			shorts = append(shorts, n.AddFlow(netsim.FlowConfig{
-				Name: fmt.Sprintf("short-%d", len(shorts)), Path: []*netsim.Link{link},
+			r.shorts = append(r.shorts, n.AddFlow(netsim.FlowConfig{
+				Name: fmt.Sprintf("short-%d", len(r.shorts)), Path: []*netsim.Link{link},
 				Start:    time.Duration(t * float64(time.Second)),
 				Duration: time.Duration(life * float64(time.Second)),
 				CC:       func() cc.Algorithm { return core.NewDefault(seed) },
 			}))
 		}
 		n.Run(o.Lifetime)
-		warm := o.Lifetime / 5
-		for _, f := range longs {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var long, short, overall flowAgg
+	warm := o.Lifetime / 5
+	for _, r := range reps {
+		for _, f := range r.longs {
 			long.add(f, warm, o.Lifetime)
 			overall.add(f, warm, o.Lifetime)
 		}
-		for _, f := range shorts {
+		for _, f := range r.shorts {
 			short.add(f, 0, o.Lifetime)
 			overall.add(f, 0, o.Lifetime)
 		}
@@ -136,15 +149,18 @@ func overallRow(a *flowAgg, exp string, o Tab3Options) Tab3Row {
 // half with 90 ms base RTT.
 func Tab3HeteroRTT(o Tab3Options) ([]Tab3Row, error) {
 	o.defaults()
-	var small, large flowAgg
-	for rep := 0; rep < o.Repeats; rep++ {
+	type repFlows struct {
+		smalls, larges []*netsim.Flow
+	}
+	reps := make([]repFlows, o.Repeats)
+	err := parallelFor(o.Repeats, func(rep int) error {
 		rng := simcore.NewRNG(o.Seed + uint64(rep)*133)
 		n := netsim.New(netsim.Config{Seed: rng.Uint64()})
 		link := n.AddLink(netsim.LinkConfig{
 			Rate: o.Rate, Delay: 15 * time.Millisecond,
 			BufferBytes: int(o.Rate / 8 * 0.090),
 		})
-		var smalls, larges []*netsim.Flow
+		r := &reps[rep]
 		for i := 0; i < 20; i++ {
 			seed := rng.Uint64()
 			fc := netsim.FlowConfig{
@@ -154,17 +170,24 @@ func Tab3HeteroRTT(o Tab3Options) ([]Tab3Row, error) {
 			}
 			if i%2 == 1 {
 				fc.ExtraOneWay = 30 * time.Millisecond // 90 ms base RTT
-				larges = append(larges, n.AddFlow(fc))
+				r.larges = append(r.larges, n.AddFlow(fc))
 			} else {
-				smalls = append(smalls, n.AddFlow(fc))
+				r.smalls = append(r.smalls, n.AddFlow(fc))
 			}
 		}
 		n.Run(o.Lifetime)
-		warm := o.Lifetime / 3
-		for _, f := range smalls {
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var small, large flowAgg
+	warm := o.Lifetime / 3
+	for _, r := range reps {
+		for _, f := range r.smalls {
 			small.add(f, warm, o.Lifetime)
 		}
-		for _, f := range larges {
+		for _, f := range r.larges {
 			large.add(f, warm, o.Lifetime)
 		}
 	}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) across up to GOMAXPROCS
+// worker goroutines and returns the error of the lowest failing index (the
+// same error a sequential loop would surface first). Workers pull indices
+// from a shared atomic counter, so uneven per-item cost does not idle them.
+// fn must be safe to call concurrently from multiple goroutines.
+func parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMany executes scenarios concurrently on a GOMAXPROCS-sized worker pool
+// and returns results in input order. Every scenario builds its own network,
+// event engine, and RNG (seeded from Scenario.Seed), so each result is
+// bit-identical to what a sequential Run(jobs[i]) would produce; only
+// wall-clock time changes. On error, the first failure in input order is
+// returned and the results are discarded.
+func RunMany(jobs []Scenario) ([]*RunResult, error) {
+	results := make([]*RunResult, len(jobs))
+	err := parallelFor(len(jobs), func(i int) error {
+		r, err := Run(jobs[i])
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

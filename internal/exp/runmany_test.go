@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// fingerprint serializes everything a figure runner could read from a
+// result, so two results compare byte-identical or not at all.
+func fingerprint(r *RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "util=%v\n", r.Utilization)
+	for _, f := range r.Flows {
+		fmt.Fprintf(&b, "%s stats=%+v\n", f.Name(), f.Stats())
+		for _, p := range f.Series() {
+			fmt.Fprintf(&b, "%+v\n", p)
+		}
+	}
+	return b.String()
+}
+
+func runManyJobs() []Scenario {
+	return []Scenario{
+		{
+			Name: "two-jury", Rate: 30e6, OneWayDelay: 10 * time.Millisecond,
+			BufferBytes: 75_000, Horizon: 6 * time.Second, Seed: 1,
+			Flows: []FlowSpec{{Scheme: "jury"}, {Scheme: "jury", Start: 2 * time.Second}},
+		},
+		{
+			Name: "lossy-mixed", Rate: 20e6, OneWayDelay: 15 * time.Millisecond,
+			BufferBytes: 75_000, LossRate: 0.005, Horizon: 5 * time.Second, Seed: 2,
+			Flows: []FlowSpec{{Scheme: "cubic"}, {Scheme: "jury", ExtraOneWay: 20 * time.Millisecond}},
+		},
+		{
+			Name: "bbr-solo", Rate: 40e6, OneWayDelay: 5 * time.Millisecond,
+			BufferBytes: 50_000, Horizon: 4 * time.Second, Seed: 3,
+			Flows: []FlowSpec{{Scheme: "bbr"}},
+		},
+	}
+}
+
+func TestRunManyMatchesSequential(t *testing.T) {
+	jobs := runManyJobs()
+	want := make([]string, len(jobs))
+	for i, s := range jobs {
+		r, err := Run(s)
+		if err != nil {
+			t.Fatalf("sequential Run(%q): %v", s.Name, err)
+		}
+		want[i] = fingerprint(r)
+	}
+	got, err := RunMany(jobs)
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("RunMany returned %d results for %d jobs", len(got), len(jobs))
+	}
+	for i, r := range got {
+		if fp := fingerprint(r); fp != want[i] {
+			t.Errorf("job %d (%q): RunMany result differs from sequential Run", i, jobs[i].Name)
+		}
+	}
+}
+
+func TestRunManyFirstErrorByIndex(t *testing.T) {
+	jobs := runManyJobs()
+	jobs[1].Flows[0].Scheme = "no-such-scheme-b"
+	jobs[2].Flows[0].Scheme = "no-such-scheme-c"
+	_, seqErr := Run(jobs[1])
+	if seqErr == nil {
+		t.Fatal("sequential Run accepted an unknown scheme")
+	}
+	results, err := RunMany(jobs)
+	if results != nil {
+		t.Fatal("RunMany returned results alongside an error")
+	}
+	if err == nil || err.Error() != seqErr.Error() {
+		t.Fatalf("RunMany error %v, want the first sequential error %v", err, seqErr)
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	results, err := RunMany(nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("RunMany(nil) = %v, %v; want empty, nil", results, err)
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	const n = 100
+	var counts [n]atomic.Int64
+	if err := parallelFor(n, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+	sentinel := errors.New("boom")
+	err := parallelFor(n, func(i int) error {
+		if i > 39 {
+			return fmt.Errorf("fail %d", i)
+		}
+		if i == 39 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("parallelFor error %v, want the lowest-index failure %v", err, sentinel)
+	}
+}
+
+// BenchmarkScenario measures a full scenario simulation — the unit of work
+// RunMany distributes. Allocations here are dominated by the per-step hot
+// path (event scheduling, packets, NN inference), so allocs/op tracks the
+// pooling work in simcore, netsim, and nn.
+func BenchmarkScenario(b *testing.B) {
+	s := Scenario{
+		Name: "bench", Rate: 30e6, OneWayDelay: 10 * time.Millisecond,
+		BufferBytes: 75_000, Horizon: 5 * time.Second, Seed: 7,
+		Flows: []FlowSpec{{Scheme: "jury"}, {Scheme: "jury", Start: time.Second}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = []*netsim.Flow(nil) // keep the import tied to the fingerprint helper

@@ -29,7 +29,9 @@ type FlowConfig struct {
 	PacketSize int
 }
 
-// packet is one in-flight segment.
+// packet is one in-flight segment. Packets are pooled per flow: a packet is
+// recycled once it terminates (ACKed or loss-detected), so steady-state
+// sending allocates nothing per packet.
 type packet struct {
 	flow    *Flow
 	size    int
@@ -102,7 +104,18 @@ type Flow struct {
 	stopAt     time.Duration
 	inflight   int
 	nextSendAt time.Duration
-	sendTimer  *simcore.Event
+	sendTimer  simcore.Timer
+
+	// Long-lived event callbacks (built once in newFlow) plus a packet
+	// free-list: together they make the per-packet event path allocation-free
+	// (see simcore.Engine.ScheduleArg).
+	advanceFn  func(any)
+	onAckFn    func(any)
+	onLossFn   func(any)
+	trySendFn  func(any)
+	intervalFn func(any)
+	recordFn   func(any)
+	pktFree    []*packet
 
 	srtt   time.Duration
 	minRTT time.Duration
@@ -134,6 +147,12 @@ func newFlow(n *Network, cfg FlowConfig, rng *simcore.RNG) *Flow {
 		returnLeg: prop + cfg.ExtraOneWay,
 		baseRTT:   2 * (prop + cfg.ExtraOneWay),
 	}
+	f.advanceFn = func(a any) { f.advance(a.(*packet)) }
+	f.onAckFn = func(a any) { f.onAck(a.(*packet)) }
+	f.onLossFn = func(a any) { f.onLossDetected(a.(*packet)) }
+	f.trySendFn = func(any) { f.trySend() }
+	f.intervalFn = func(any) { f.intervalTick() }
+	f.recordFn = func(any) { f.recordTick() }
 	return f
 }
 
@@ -169,18 +188,16 @@ func (f *Flow) start() {
 	f.alg.Init(now)
 	if ia, ok := f.alg.(cc.IntervalAlgorithm); ok {
 		f.tracker = newIntervalTracker(ia)
-		f.net.eng.ScheduleAfter(f.tracker.interval, f.intervalTick)
+		f.net.eng.ScheduleArgAfter(f.tracker.interval, f.intervalFn, nil)
 	}
-	f.net.eng.ScheduleAfter(f.net.cfg.RecordInterval, f.recordTick)
+	f.net.eng.ScheduleArgAfter(f.net.cfg.RecordInterval, f.recordFn, nil)
 	f.trySend()
 }
 
 func (f *Flow) stop() {
 	f.active = false
-	if f.sendTimer != nil {
-		f.sendTimer.Cancel()
-		f.sendTimer = nil
-	}
+	f.sendTimer.Cancel()
+	f.sendTimer = simcore.Timer{}
 }
 
 // intervalTick closes the current send interval and delivers any completed
@@ -192,7 +209,7 @@ func (f *Flow) intervalTick() {
 	now := f.net.eng.Now()
 	f.tracker.closeCurrent(f, now)
 	f.tracker.tryDeliver(f, now)
-	f.net.eng.ScheduleAfter(f.tracker.interval, f.intervalTick)
+	f.net.eng.ScheduleArgAfter(f.tracker.interval, f.intervalFn, nil)
 }
 
 func (f *Flow) recordTick() {
@@ -214,7 +231,7 @@ func (f *Flow) recordTick() {
 	}
 	f.series = append(f.series, p)
 	f.rec.reset()
-	f.net.eng.ScheduleAfter(iv, f.recordTick)
+	f.net.eng.ScheduleArgAfter(iv, f.recordFn, nil)
 }
 
 func lossRate(lost, acked int64) float64 {
@@ -265,17 +282,34 @@ func (f *Flow) trySend() {
 }
 
 func (f *Flow) armSendTimer(at time.Duration) {
-	if f.sendTimer != nil {
-		f.sendTimer.Cancel()
+	f.sendTimer.Cancel()
+	f.sendTimer = f.net.eng.ScheduleArg(at, f.trySendFn, nil)
+}
+
+// allocPacket takes a packet from the flow's free-list (or allocates one).
+func (f *Flow) allocPacket(now time.Duration) *packet {
+	var p *packet
+	if n := len(f.pktFree); n > 0 {
+		p = f.pktFree[n-1]
+		f.pktFree[n-1] = nil
+		f.pktFree = f.pktFree[:n-1]
+	} else {
+		p = &packet{flow: f}
 	}
-	f.sendTimer = f.net.eng.Schedule(at, func() {
-		f.sendTimer = nil
-		f.trySend()
-	})
+	p.size = f.pktSize
+	p.sentAt = now
+	p.hop = -1
+	p.ctrlIdx = 0
+	return p
+}
+
+// releasePacket recycles a terminated packet (ACKed or loss-detected).
+func (f *Flow) releasePacket(p *packet) {
+	f.pktFree = append(f.pktFree, p)
 }
 
 func (f *Flow) sendPacket(now time.Duration) {
-	p := &packet{flow: f, size: f.pktSize, sentAt: now, hop: -1}
+	p := f.allocPacket(now)
 	f.inflight++
 	if f.tracker != nil {
 		p.ctrlIdx = f.tracker.onSend(p.size)
@@ -285,7 +319,7 @@ func (f *Flow) sendPacket(now time.Duration) {
 	f.total.sentBytes += int64(p.size)
 	f.total.sentPackets++
 	if f.cfg.ExtraOneWay > 0 {
-		f.net.eng.ScheduleAfter(f.cfg.ExtraOneWay, func() { f.advance(p) })
+		f.net.eng.ScheduleArgAfter(f.cfg.ExtraOneWay, f.advanceFn, p)
 	} else {
 		f.advance(p)
 	}
@@ -299,16 +333,20 @@ func (f *Flow) advance(p *packet) {
 		f.cfg.Path[p.hop].arrive(p)
 		return
 	}
-	f.net.eng.ScheduleAfter(f.returnLeg, func() { f.onAck(p) })
+	f.net.eng.ScheduleArgAfter(f.returnLeg, f.onAckFn, p)
 }
 
 func (f *Flow) onAck(p *packet) {
 	now := f.net.eng.Now()
-	rtt := now - p.sentAt
+	sentAt := p.sentAt
+	size := p.size
+	rtt := now - sentAt
 	f.inflight--
 	if f.tracker != nil {
-		f.tracker.onAck(p.ctrlIdx, now, p.size, rtt)
+		f.tracker.onAck(p.ctrlIdx, now, size, rtt)
 	}
+	// The packet terminates here; recycle it before trySend can reuse it.
+	f.releasePacket(p)
 	if !f.active {
 		return
 	}
@@ -320,10 +358,10 @@ func (f *Flow) onAck(p *packet) {
 	} else {
 		f.srtt += (rtt - f.srtt) / 8
 	}
-	f.rec.addAck(p.size, rtt)
-	f.total.addAck(p.size, rtt)
+	f.rec.addAck(size, rtt)
+	f.total.addAck(size, rtt)
 	f.rttAll += rtt
-	f.alg.OnAck(cc.Ack{Now: now, SentAt: p.sentAt, RTT: rtt, Bytes: p.size})
+	f.alg.OnAck(cc.Ack{Now: now, SentAt: sentAt, RTT: rtt, Bytes: size})
 	f.trySend()
 	if f.tracker != nil {
 		f.tracker.tryDeliver(f, now)
@@ -341,21 +379,25 @@ func (f *Flow) onDrop(p *packet) {
 	if delay < time.Millisecond {
 		delay = time.Millisecond
 	}
-	f.net.eng.ScheduleAfter(delay, func() { f.onLossDetected(p) })
+	f.net.eng.ScheduleArgAfter(delay, f.onLossFn, p)
 }
 
 func (f *Flow) onLossDetected(p *packet) {
+	sentAt := p.sentAt
+	size := p.size
 	f.inflight--
 	if f.tracker != nil {
 		f.tracker.onLoss(p.ctrlIdx)
 	}
+	// The packet terminates here; recycle it before trySend can reuse it.
+	f.releasePacket(p)
 	if !f.active {
 		return
 	}
 	now := f.net.eng.Now()
 	f.rec.lostPackets++
 	f.total.lostPackets++
-	f.alg.OnLoss(cc.Loss{Now: now, SentAt: p.sentAt, Bytes: p.size})
+	f.alg.OnLoss(cc.Loss{Now: now, SentAt: sentAt, Bytes: size})
 	f.trySend()
 	if f.tracker != nil {
 		f.tracker.tryDeliver(f, now)

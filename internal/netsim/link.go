@@ -47,11 +47,17 @@ type Link struct {
 	qBytes int64
 	busy   bool
 
+	// finishFn is the long-lived serialization-done callback; scheduling it
+	// via ScheduleArg avoids allocating a closure per transmitted packet.
+	finishFn func(any)
+
 	stats LinkStats
 }
 
 func newLink(n *Network, cfg LinkConfig, rng *simcore.RNG) *Link {
-	return &Link{net: n, cfg: cfg, rng: rng}
+	l := &Link{net: n, cfg: cfg, rng: rng}
+	l.finishFn = func(a any) { l.finishTx(a.(*packet)) }
+	return l
 }
 
 // Config returns the link's configuration.
@@ -124,7 +130,7 @@ func (l *Link) startTx() {
 	if txDur < time.Nanosecond {
 		txDur = time.Nanosecond
 	}
-	l.net.eng.ScheduleAfter(txDur, func() { l.finishTx(p) })
+	l.net.eng.ScheduleArgAfter(txDur, l.finishFn, p)
 }
 
 // finishTx completes serialization: the packet leaves the queue and enters
@@ -148,7 +154,7 @@ func (l *Link) finishTx(p *packet) {
 		}
 		prop += time.Duration(j)
 	}
-	l.net.eng.ScheduleAfter(prop, func() { p.flow.advance(p) })
+	l.net.eng.ScheduleArgAfter(prop, p.flow.advanceFn, p)
 
 	if l.qHead < len(l.queue) {
 		l.startTx()

@@ -1,0 +1,86 @@
+package rl
+
+import (
+	"testing"
+
+	"repro/internal/simcore"
+)
+
+// reusingEnv mutates one observation buffer in place on every Reset/Step,
+// the worst case the collector's defensive copies must tolerate. Its reward
+// equals the state value at step time, so any transition whose stored State
+// was later mutated is detectable as State[0] != Reward.
+type reusingEnv struct {
+	obs  []float64
+	tick float64
+}
+
+func (e *reusingEnv) Reset() []float64 {
+	if e.obs == nil {
+		e.obs = make([]float64, 1)
+	}
+	e.tick++
+	e.obs[0] = e.tick
+	return e.obs
+}
+
+func (e *reusingEnv) Step(action []float64) ([]float64, float64, bool) {
+	reward := e.obs[0]
+	e.tick++
+	e.obs[0] = e.tick // clobbers the buffer previously returned as "state"
+	return e.obs, reward, false
+}
+
+func TestCollectCopiesEnvBuffers(t *testing.T) {
+	// Drive Train's collector directly against the buffer-reusing env. The
+	// reward is computed from the live state at step time, so a stored
+	// State that still equals the reward proves collect copied it before
+	// the env clobbered its buffer; without the copies every transition
+	// would hold the env's final tick value.
+	env := &reusingEnv{}
+	state := env.Reset()
+	trs, _, endState := collect(env, state, nil, 1, 32, 0, simcore.NewRNG(23))
+	if len(trs) != 32 {
+		t.Fatalf("collected %d transitions, want 32", len(trs))
+	}
+	for i, tr := range trs {
+		if tr.State[0] != tr.Reward {
+			t.Fatalf("transition %d: stored State %v mutated after the fact (reward %v)", i, tr.State[0], tr.Reward)
+		}
+		if tr.NextState[0] != tr.Reward+1 {
+			t.Fatalf("transition %d: stored NextState %v mutated (want %v)", i, tr.NextState[0], tr.Reward+1)
+		}
+	}
+	if endState[0] != trs[len(trs)-1].NextState[0] {
+		t.Fatalf("endState %v does not match last NextState %v", endState[0], trs[len(trs)-1].NextState[0])
+	}
+}
+
+func BenchmarkTD3Update(b *testing.B) {
+	cfg := DefaultConfig(15, 1)
+	cfg.Hidden = []int{64, 32}
+	cfg.Seed = 31
+	agent := NewTD3(cfg)
+	buf := NewReplayBuffer(4096)
+	rng := simcore.NewRNG(32)
+	for i := 0; i < 1024; i++ {
+		s := make([]float64, cfg.StateDim)
+		n := make([]float64, cfg.StateDim)
+		for j := range s {
+			s[j] = rng.Range(-1, 1)
+			n[j] = rng.Range(-1, 1)
+		}
+		buf.Add(Transition{
+			State:     s,
+			Action:    []float64{rng.Range(-1, 1)},
+			Reward:    rng.Range(-1, 1),
+			NextState: n,
+			Done:      rng.Bernoulli(0.1),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Update(buf)
+	}
+}

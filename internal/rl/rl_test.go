@@ -134,6 +134,9 @@ func (e *banditEnv) Step(action []float64) ([]float64, float64, bool) {
 }
 
 func TestTD3SolvesContextualBandit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning-convergence test")
+	}
 	agent := NewTD3(Config{
 		StateDim: 1, ActionDim: 1, Hidden: []int{32, 32},
 		ActorLR: 1e-3, CriticLR: 2e-3, Gamma: 0.0 /* one-step */, Batch: 64, Seed: 6,
@@ -201,6 +204,9 @@ func (e *chainEnv) Step(a []float64) ([]float64, float64, bool) {
 }
 
 func TestTD3LearnsMultiStepCredit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("learning-convergence test")
+	}
 	agent := NewTD3(Config{StateDim: 1, ActionDim: 1, Hidden: []int{32, 32}, Batch: 64, Seed: 8})
 	res, err := Train(TrainConfig{
 		Agent:           agent,

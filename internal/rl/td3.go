@@ -72,6 +72,18 @@ type TD3 struct {
 	c1Grads    *nn.Grads
 	c2Grads    *nn.Grads
 
+	// Reusable buffers for Update's per-transition inner loops (scratch
+	// forward/backward buffers, traces, state++action concatenation), so a
+	// training step allocates nothing in steady state.
+	criticScratch *nn.Scratch
+	actorScratch  *nn.Scratch
+	discardGrads  *nn.Grads // critic grads discarded during the actor update
+	c1Trace       *nn.Trace
+	c2Trace       *nn.Trace
+	actorTrace    *nn.Trace
+	saBuf         []float64
+	dOutBuf       []float64
+
 	updates int
 	batch   []Transition
 }
@@ -147,6 +159,14 @@ func NewTD3(cfg Config) *TD3 {
 	t.actorGrads = nn.NewGrads(t.Actor)
 	t.c1Grads = nn.NewGrads(t.critic1)
 	t.c2Grads = nn.NewGrads(t.critic2)
+	t.criticScratch = nn.NewScratch(t.critic1)
+	t.actorScratch = nn.NewScratch(t.Actor)
+	t.discardGrads = nn.NewGrads(t.critic1)
+	t.c1Trace = nn.NewTrace(t.critic1)
+	t.c2Trace = nn.NewTrace(t.critic2)
+	t.actorTrace = nn.NewTrace(t.Actor)
+	t.saBuf = make([]float64, 0, cfg.StateDim+cfg.ActionDim)
+	t.dOutBuf = make([]float64, 1)
 	return t
 }
 
@@ -184,6 +204,13 @@ func concat(a, b []float64) []float64 {
 	return append(out, b...)
 }
 
+// concatInto writes a followed by b into dst[:0], growing dst only if its
+// capacity is too small.
+func concatInto(dst, a, b []float64) []float64 {
+	dst = append(dst[:0], a...)
+	return append(dst, b...)
+}
+
 // Update performs one TD3 training step on a batch sampled from buf and
 // returns the mean critic TD error (diagnostic). Every PolicyDelay-th call
 // also updates the actor and the target networks.
@@ -198,29 +225,32 @@ func (t *TD3) Update(buf *ReplayBuffer) float64 {
 	t.c2Grads.Zero()
 	var tdErr float64
 	for _, tr := range batch {
-		// Target action with smoothing noise (TD3 trick #3).
-		aT := t.actorTarget.Forward(tr.NextState)
+		// Target action with smoothing noise (TD3 trick #3). aT lives in the
+		// actor scratch; it is consumed by the concat below.
+		aT := t.actorTarget.ForwardInto(tr.NextState, t.actorScratch)
 		for i := range aT {
 			noise := clip(t.rng.Norm(0, t.cfg.TargetNoise), -t.cfg.NoiseClip, t.cfg.NoiseClip)
 			aT[i] = clip(aT[i]+noise, -1, 1)
 		}
 		// Clipped double-Q target (TD3 trick #1).
-		saT := concat(tr.NextState, aT)
-		q1T := t.c1Target.Forward(saT)[0]
-		q2T := t.c2Target.Forward(saT)[0]
+		t.saBuf = concatInto(t.saBuf, tr.NextState, aT)
+		q1T := t.c1Target.ForwardInto(t.saBuf, t.criticScratch)[0]
+		q2T := t.c2Target.ForwardInto(t.saBuf, t.criticScratch)[0]
 		y := tr.Reward
 		if !tr.Done {
 			y += t.cfg.Gamma * math.Min(q1T, q2T)
 		}
 
-		sa := concat(tr.State, tr.Action)
-		tr1 := t.critic1.ForwardTrace(sa)
-		tr2 := t.critic2.ForwardTrace(sa)
+		t.saBuf = concatInto(t.saBuf, tr.State, tr.Action)
+		tr1 := t.critic1.ForwardTraceInto(t.saBuf, t.c1Trace)
+		tr2 := t.critic2.ForwardTraceInto(t.saBuf, t.c2Trace)
 		e1 := tr1.Output()[0] - y
 		e2 := tr2.Output()[0] - y
 		tdErr += math.Abs(e1)
-		t.critic1.Backward(tr1, []float64{2 * e1}, t.c1Grads)
-		t.critic2.Backward(tr2, []float64{2 * e2}, t.c2Grads)
+		t.dOutBuf[0] = 2 * e1
+		t.critic1.BackwardInto(tr1, t.dOutBuf, t.c1Grads, t.criticScratch)
+		t.dOutBuf[0] = 2 * e2
+		t.critic2.BackwardInto(tr2, t.dOutBuf, t.c2Grads, t.criticScratch)
 	}
 	inv := 1 / float64(len(batch))
 	t.c1Grads.Scale(inv)
@@ -233,17 +263,20 @@ func (t *TD3) Update(buf *ReplayBuffer) float64 {
 	t.updates++
 	if t.updates%t.cfg.PolicyDelay == 0 { // delayed policy update (TD3 trick #2)
 		t.actorGrads.Zero()
-		scratch := nn.NewGrads(t.critic1) // critic grads discarded; only dIn matters
+		t.discardGrads.Zero() // critic grads discarded; only dIn matters
 		for _, tr := range batch {
-			actTr := t.Actor.ForwardTrace(tr.State)
+			actTr := t.Actor.ForwardTraceInto(tr.State, t.actorTrace)
 			a := actTr.Output()
-			sa := concat(tr.State, a)
-			cTr := t.critic1.ForwardTrace(sa)
+			t.saBuf = concatInto(t.saBuf, tr.State, a)
+			cTr := t.critic1.ForwardTraceInto(t.saBuf, t.c1Trace)
 			// Maximize Q: dLoss/dQ = -1; get dQ/d(state++action), keep the
-			// action slice, push through the actor.
-			dIn := t.critic1.Backward(cTr, []float64{-1}, scratch)
+			// action slice, push through the actor. dIn aliases the critic
+			// scratch; the actor backward uses its own scratch, so slicing
+			// dAction out of it is safe.
+			t.dOutBuf[0] = -1
+			dIn := t.critic1.BackwardInto(cTr, t.dOutBuf, t.discardGrads, t.criticScratch)
 			dAction := dIn[len(tr.State):]
-			t.Actor.Backward(actTr, dAction, t.actorGrads)
+			t.Actor.BackwardInto(actTr, dAction, t.actorGrads, t.actorScratch)
 		}
 		t.actorGrads.Scale(inv)
 		t.actorGrads.ClipNorm(t.cfg.GradClip)

@@ -92,33 +92,14 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 			go func(ai int) {
 				defer wg.Done()
 				rng := simcore.NewRNG(cfg.Seed ^ uint64(epoch)*0x9e3779b97f4a7c15 ^ uint64(ai)<<32)
-				env := envs[ai]
-				state := states[ai]
 				c := &chunks[ai]
-				for s := 0; s < cfg.StepsPerActor; s++ {
-					var action []float64
-					if warmup {
-						action = make([]float64, actionDim)
-						for i := range action {
-							action[i] = rng.Range(-1, 1)
-						}
-					} else {
-						action = forwardWithNoise(policy, state, noise, rng)
-					}
-					next, reward, done := env.Step(action)
-					c.transitions = append(c.transitions, Transition{
-						State: state, Action: action, Reward: reward,
-						NextState: next, Done: done,
-					})
-					c.rewardSum += reward
-					c.steps++
-					if done {
-						state = env.Reset()
-					} else {
-						state = next
-					}
+				var p *nn.MLP
+				if !warmup {
+					p = policy
 				}
-				c.endState = state
+				c.transitions, c.rewardSum, c.endState =
+					collect(envs[ai], states[ai], p, actionDim, cfg.StepsPerActor, noise, rng)
+				c.steps = cfg.StepsPerActor
 			}(ai)
 		}
 		wg.Wait()
@@ -147,6 +128,47 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		noise *= cfg.NoiseDecay
 	}
 	return res, nil
+}
+
+// collect runs one actor's experience-gathering loop: steps env interactions
+// driven by the policy snapshot (nil = uniform-random warmup actions).
+// Observations are copied the moment the env hands them over — environments
+// are free to reuse one observation buffer across Step/Reset calls (Step
+// may clobber the slice it returned last time mid-call), and replay
+// transitions outlive this collection round by many epochs.
+func collect(env Env, state []float64, policy *nn.MLP, actionDim, steps int, noise float64, rng *simcore.RNG) (trs []Transition, rewardSum float64, endState []float64) {
+	trs = make([]Transition, 0, steps)
+	state = cloneFloats(state)
+	for s := 0; s < steps; s++ {
+		var action []float64
+		if policy == nil {
+			action = make([]float64, actionDim)
+			for i := range action {
+				action[i] = rng.Range(-1, 1)
+			}
+		} else {
+			action = forwardWithNoise(policy, state, noise, rng)
+		}
+		next, reward, done := env.Step(action)
+		next = cloneFloats(next)
+		trs = append(trs, Transition{
+			State: state, Action: action, Reward: reward,
+			NextState: next, Done: done,
+		})
+		rewardSum += reward
+		if done {
+			state = cloneFloats(env.Reset())
+		} else {
+			// next is already collect-owned; sharing it with the stored
+			// NextState is safe because transitions are read-only.
+			state = next
+		}
+	}
+	return trs, rewardSum, state
+}
+
+func cloneFloats(v []float64) []float64 {
+	return append([]float64(nil), v...)
 }
 
 // forwardWithNoise evaluates a policy snapshot with exploration noise using

@@ -12,21 +12,57 @@ import (
 
 // Event is a scheduled callback. Events with equal timestamps fire in
 // scheduling order (FIFO), which keeps simulations deterministic.
+//
+// Events are pooled: once an event has fired (or a cancelled event has been
+// drained), the engine recycles its storage for a future Schedule call.
+// Callers therefore never hold *Event directly — Schedule returns a Timer
+// handle carrying a generation number, so operations on a stale handle are
+// safe no-ops instead of corrupting an unrelated recycled event.
 type Event struct {
 	at  time.Duration
 	seq uint64
-	fn  func()
 
-	index     int // heap index; -1 when not queued
+	// Exactly one of fn/argFn is set. argFn+arg lets hot paths schedule a
+	// per-object callback without allocating a fresh closure per event.
+	fn    func()
+	argFn func(any)
+	arg   any
+
+	index     int    // heap index; -1 when not queued
+	gen       uint64 // bumped on recycle; Timer handles check it
 	cancelled bool
 }
 
-// At reports the virtual time at which the event fires.
-func (e *Event) At() time.Duration { return e.at }
+// Timer is a cancellable handle to a scheduled event. The zero value is an
+// inert handle: Cancel and Active are no-ops on it. Handles are plain
+// values; copying one is fine.
+type Timer struct {
+	ev  *Event
+	gen uint64
+}
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents the pending event from firing. Cancelling an event that
+// has already fired, was already cancelled, or whose storage has been
+// recycled for a newer event is a no-op.
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen {
+		t.ev.cancelled = true
+	}
+}
+
+// Active reports whether the event is still queued and uncancelled.
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && t.ev.index >= 0
+}
+
+// At reports the virtual time at which the event fires (0 for inert or
+// recycled handles).
+func (t Timer) At() time.Duration {
+	if t.ev == nil || t.ev.gen != t.gen {
+		return 0
+	}
+	return t.ev.at
+}
 
 // eventHeap orders events by (time, sequence).
 type eventHeap []*Event
@@ -70,6 +106,11 @@ type Engine struct {
 	nextSeq uint64
 	running bool
 	stopped bool
+
+	// free is the event free-list: fired/drained events are recycled here so
+	// steady-state simulation schedules without heap allocation (packet-level
+	// runs schedule one event per packet hop).
+	free []*Event
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -84,25 +125,71 @@ func (e *Engine) Now() time.Duration { return e.now }
 // have not yet been drained).
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// Schedule queues fn to run at absolute virtual time at. Scheduling in the
-// past (before Now) panics: it always indicates a simulation bug, and
-// silently clamping would corrupt causality.
-func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+// alloc takes an event from the free-list (or allocates one) and enqueues
+// it at the given time.
+func (e *Engine) alloc(at time.Duration) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("simcore: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.nextSeq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = at
+	ev.seq = e.nextSeq
+	ev.cancelled = false
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
 	return ev
 }
 
+// release returns a fired or drained event to the free-list, invalidating
+// outstanding Timer handles via the generation counter.
+func (e *Engine) release(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
+
+// Schedule queues fn to run at absolute virtual time at and returns a
+// cancellable handle. Scheduling in the past (before Now) panics: it always
+// indicates a simulation bug, and silently clamping would corrupt causality.
+func (e *Engine) Schedule(at time.Duration, fn func()) Timer {
+	ev := e.alloc(at)
+	ev.fn = fn
+	return Timer{ev: ev, gen: ev.gen}
+}
+
 // ScheduleAfter queues fn to run after delay d from the current time.
-func (e *Engine) ScheduleAfter(d time.Duration, fn func()) *Event {
+func (e *Engine) ScheduleAfter(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.Schedule(e.now+d, fn)
+}
+
+// ScheduleArg queues fn(arg) at absolute virtual time at. Unlike Schedule,
+// it takes a long-lived callback plus a per-event argument, so hot paths
+// (one event per packet hop) do not allocate a closure per call.
+func (e *Engine) ScheduleArg(at time.Duration, fn func(any), arg any) Timer {
+	ev := e.alloc(at)
+	ev.argFn = fn
+	ev.arg = arg
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// ScheduleArgAfter queues fn(arg) after delay d from the current time.
+func (e *Engine) ScheduleArgAfter(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleArg(e.now+d, fn, arg)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -128,11 +215,17 @@ func (e *Engine) Run(horizon time.Duration) int {
 		}
 		heap.Pop(&e.queue)
 		if ev.cancelled {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		if ev.argFn != nil {
+			ev.argFn(ev.arg)
+		} else {
+			ev.fn()
+		}
 		executed++
+		e.release(ev)
 	}
 	if e.now < horizon && !e.stopped {
 		// Advance the clock to the horizon so repeated Run calls observe

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh — run the hot-path micro-benchmarks and record them as
+# BENCH_harness.json for before/after comparison.
+#
+# Covers the per-step allocation work: event scheduling (simcore), full
+# scenario simulation (exp), NN inference/backprop scratch buffers (nn),
+# and the TD3 update loop (rl). Usage:
+#
+#   scripts/bench.sh             # writes BENCH_harness.json in the repo root
+#   OUT=/tmp/b.json scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+OUT=${OUT:-BENCH_harness.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench 'BenchmarkEngineSchedule' -benchmem ./internal/simcore | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward' -benchmem ./internal/nn | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkTD3Update' -benchmem ./internal/rl | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkScenario' -benchtime 3x -benchmem ./internal/exp | tee -a "$TMP"
+
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    nsop = ""; bop = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") nsop = $(i - 1)
+        if ($(i) == "B/op") bop = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (nsop == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
+    if (bop != "") printf ", \"bytes_per_op\": %s", bop
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$TMP" > "$OUT"
+echo "wrote $OUT"

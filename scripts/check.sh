@@ -1,0 +1,31 @@
+#!/bin/sh
+# check.sh — the repository's fast verification gate.
+#
+# Runs formatting, vet, build, the short test suite, and the race detector
+# over the concurrent packages (the parallel experiment harness and the
+# multi-goroutine trainer). The full suite (go test ./...) adds the
+# full-scale emulation tests gated behind -short.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -short ./..."
+go test -short ./...
+
+echo "== go test -race ./internal/exp ./internal/rl"
+go test -short -race ./internal/exp ./internal/rl
+
+echo "OK"
