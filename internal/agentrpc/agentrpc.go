@@ -117,37 +117,20 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	var hdr [4]byte
-	buf := make([]float64, 0, 64)
-	raw := make([]byte, 0, 64*8)
+	dec := newRequestReader(conn)
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return
+		state, ping, err := dec.next()
+		if err != nil {
+			return // io error or protocol violation: drop the connection
 		}
-		count := binary.LittleEndian.Uint32(hdr[:])
-		if count > maxStateDim {
-			return // protocol violation: drop the connection
-		}
-		if count == 0 { // ping
+		if ping {
 			var resp [16]byte
 			if _, err := conn.Write(resp[:]); err != nil {
 				return
 			}
 			continue
 		}
-		raw = raw[:0]
-		if cap(raw) < int(count)*8 {
-			raw = make([]byte, 0, count*8)
-		}
-		raw = raw[:count*8]
-		if _, err := io.ReadFull(conn, raw); err != nil {
-			return
-		}
-		buf = buf[:0]
-		for i := 0; i < int(count); i++ {
-			buf = append(buf, math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:])))
-		}
-		mu, delta := s.policy.Decide(buf)
+		mu, delta := s.policy.Decide(state)
 		var resp [16]byte
 		binary.LittleEndian.PutUint64(resp[0:], math.Float64bits(mu))
 		binary.LittleEndian.PutUint64(resp[8:], math.Float64bits(delta))
@@ -257,11 +240,7 @@ func (c *Client) decideRemote(state []float64) (float64, float64, error) {
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return 0, 0, err
 	}
-	req := make([]byte, 4+len(state)*8)
-	binary.LittleEndian.PutUint32(req, uint32(len(state)))
-	for i, v := range state {
-		binary.LittleEndian.PutUint64(req[4+i*8:], math.Float64bits(v))
-	}
+	req := appendRequest(make([]byte, 0, 4+len(state)*8), state)
 	if _, err := c.conn.Write(req); err != nil {
 		return 0, 0, err
 	}

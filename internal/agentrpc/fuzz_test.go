@@ -1,0 +1,81 @@
+package agentrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// FuzzAgentRPCDecode feeds arbitrary byte streams to the request-frame
+// decoder the server runs against every connection. It must never panic,
+// never hand the policy a state above maxStateDim, and every frame it does
+// accept must re-encode to the exact bytes it was decoded from (bit-level
+// round trip, NaN payloads included).
+func FuzzAgentRPCDecode(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})             // ping
+	f.Add([]byte{1, 0, 0, 0})             // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // oversized count
+	two := appendRequest(nil, []float64{1.5, math.NaN()})
+	f.Add(two)
+	f.Add(append(append([]byte{}, two...), 0, 0, 0, 0)) // frame then ping
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := newRequestReader(bytes.NewReader(data))
+		off := 0 // byte offset of the current frame within data
+		for {
+			state, ping, err := dec.next()
+			if err != nil {
+				if errors.Is(err, errOversizedFrame) {
+					count := binary.LittleEndian.Uint32(data[off:])
+					if count <= maxStateDim {
+						t.Fatalf("count %d rejected as oversized", count)
+					}
+				} else if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unexpected decode error: %v", err)
+				}
+				return
+			}
+			if ping {
+				if state != nil {
+					t.Fatal("ping carried state")
+				}
+				off += 4
+				continue
+			}
+			if len(state) == 0 || len(state) > maxStateDim {
+				t.Fatalf("decoded state dim %d", len(state))
+			}
+			frameLen := 4 + len(state)*8
+			if got := appendRequest(nil, state); !bytes.Equal(got, data[off:off+frameLen]) {
+				t.Fatalf("re-encode of %d-dim frame at %d differs from wire bytes", len(state), off)
+			}
+			off += frameLen
+		}
+	})
+}
+
+// TestRequestRoundTrip pins the encode side against a hand-built frame so
+// the fuzz property (decode∘encode = id) can't be trivially satisfied by a
+// broken pair of inverse bugs.
+func TestRequestRoundTrip(t *testing.T) {
+	state := []float64{0, -1, math.Inf(1), 1e-300, math.Float64frombits(0x7ff8000000000001)}
+	frame := appendRequest(nil, state)
+	if len(frame) != 4+8*len(state) {
+		t.Fatalf("frame length %d", len(frame))
+	}
+	dec := newRequestReader(bytes.NewReader(frame))
+	got, ping, err := dec.next()
+	if err != nil || ping {
+		t.Fatalf("decode: ping=%v err=%v", ping, err)
+	}
+	if len(got) != len(state) {
+		t.Fatalf("dim %d != %d", len(got), len(state))
+	}
+	for i := range state {
+		if math.Float64bits(got[i]) != math.Float64bits(state[i]) {
+			t.Fatalf("value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(state[i]))
+		}
+	}
+}

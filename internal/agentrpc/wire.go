@@ -1,0 +1,70 @@
+package agentrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file isolates the wire framing (request: u32 count | count × f64
+// state) into pure encode/decode helpers shared by the client and server —
+// and, because they take no sockets, directly fuzzable.
+
+// errOversizedFrame reports a request whose count exceeds maxStateDim; the
+// server drops the connection on it rather than allocating attacker-chosen
+// amounts of memory.
+var errOversizedFrame = errors.New("agentrpc: request frame exceeds maxStateDim")
+
+// appendRequest appends the wire encoding of one request frame to dst and
+// returns the extended slice. An empty state encodes a ping.
+func appendRequest(dst []byte, state []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(state)))
+	for _, v := range state {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// requestReader decodes request frames from a byte stream, reusing its
+// scratch buffers across frames (the server keeps one per connection).
+type requestReader struct {
+	r   io.Reader
+	hdr [4]byte
+	raw []byte
+	buf []float64
+}
+
+func newRequestReader(r io.Reader) *requestReader {
+	return &requestReader{r: r, raw: make([]byte, 0, 64*8), buf: make([]float64, 0, 64)}
+}
+
+// next reads one frame. It returns ping=true for a zero-count frame, or a
+// state slice valid until the following call. Errors are io errors from the
+// underlying reader or errOversizedFrame for a count above maxStateDim.
+func (d *requestReader) next() (state []float64, ping bool, err error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		return nil, false, err
+	}
+	count := binary.LittleEndian.Uint32(d.hdr[:])
+	if count > maxStateDim {
+		return nil, false, fmt.Errorf("%w: count %d", errOversizedFrame, count)
+	}
+	if count == 0 {
+		return nil, true, nil
+	}
+	need := int(count) * 8
+	if cap(d.raw) < need {
+		d.raw = make([]byte, need)
+	}
+	d.raw = d.raw[:need]
+	if _, err := io.ReadFull(d.r, d.raw); err != nil {
+		return nil, false, err
+	}
+	d.buf = d.buf[:0]
+	for i := 0; i < int(count); i++ {
+		d.buf = append(d.buf, math.Float64frombits(binary.LittleEndian.Uint64(d.raw[i*8:])))
+	}
+	return d.buf, false, nil
+}

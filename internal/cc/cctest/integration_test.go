@@ -17,6 +17,7 @@ import (
 	"repro/internal/cc/vegas"
 	"repro/internal/cc/vivace"
 	"repro/internal/netsim"
+	"repro/internal/simcheck"
 )
 
 // runSingle runs one flow of the given scheme over a bottleneck and returns
@@ -26,7 +27,11 @@ func runSingle(t *testing.T, mk func() cc.Algorithm, rate float64, owd time.Dura
 	n := netsim.New(netsim.Config{Seed: 42})
 	l := n.AddLink(netsim.LinkConfig{Rate: rate, Delay: owd, BufferBytes: bufBytes, LossRate: lossRate})
 	f := n.AddFlow(netsim.FlowConfig{Name: "f", Path: []*netsim.Link{l}, CC: mk})
+	ck := simcheck.Attach(n)
 	n.Run(horizon)
+	if vs := ck.Finish(); len(vs) > 0 {
+		t.Fatalf("invariant violations: %v", vs)
+	}
 
 	util := l.Utilization(horizon)
 	base := f.BaseRTT()
@@ -159,7 +164,11 @@ func fairShareLate(t *testing.T, mk func(i int) cc.Algorithm, rate float64, hori
 	l := n.AddLink(netsim.LinkConfig{Rate: rate, Delay: 15 * time.Millisecond, BufferBytes: buf})
 	f1 := n.AddFlow(netsim.FlowConfig{Name: "a", Path: []*netsim.Link{l}, CC: func() cc.Algorithm { return mk(0) }})
 	f2 := n.AddFlow(netsim.FlowConfig{Name: "b", Path: []*netsim.Link{l}, Start: 30 * time.Second, CC: func() cc.Algorithm { return mk(1) }})
+	ck := simcheck.Attach(n)
 	n.Run(horizon)
+	if vs := ck.Finish(); len(vs) > 0 {
+		t.Fatalf("invariant violations: %v", vs)
+	}
 	late := func(f *netsim.Flow) float64 {
 		var sum float64
 		var c int

@@ -38,6 +38,25 @@ type Jury struct {
 	lastReward  float64
 	lastOcc     float64
 	intervals   int64
+
+	// Decision-range trace (EnableRangeTrace): one point per control
+	// interval in which the policy was consulted. The metamorphic tests in
+	// internal/simcheck compare these trajectories across environments —
+	// bandwidth-agnostic signals must make them invariant under bandwidth
+	// scaling (§4, Eq. 5–7).
+	rangeTrace    []RangePoint
+	rangeTraceCap int
+}
+
+// RangePoint is one recorded policy decision: the interval it was taken in,
+// the decision range (μ, δ), the flow's occupancy estimate, and the
+// post-processed action that was applied.
+type RangePoint struct {
+	Interval  int64
+	Mu        float64
+	Delta     float64
+	Occupancy float64
+	Action    float64
 }
 
 // New returns a Jury controller with the given configuration and policy.
@@ -145,6 +164,15 @@ func (j *Jury) OnInterval(s cc.IntervalStats) {
 		a := PostProcess(mu, delta, j.lastOcc)
 		a = j.exploreAction(a)
 		j.applyAction(a)
+		if j.rangeTraceCap != 0 && len(j.rangeTrace) < j.rangeTraceCap {
+			j.rangeTrace = append(j.rangeTrace, RangePoint{
+				Interval:  j.intervals,
+				Mu:        mu,
+				Delta:     delta,
+				Occupancy: j.lastOcc,
+				Action:    a,
+			})
+		}
 	}
 
 	j.updatePacing(s)
@@ -248,3 +276,18 @@ func (j *Jury) Signals() Signals { return j.lastSignals }
 
 // Intervals returns how many control intervals have elapsed.
 func (j *Jury) Intervals() int64 { return j.intervals }
+
+// EnableRangeTrace starts recording one RangePoint per policy decision, up
+// to max points (memory bound: a 60 s run at the default 30 ms interval
+// records ≤2000 points per flow). Call before the flow starts.
+func (j *Jury) EnableRangeTrace(max int) {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	j.rangeTraceCap = max
+	j.rangeTrace = make([]RangePoint, 0, min(max, 4096))
+}
+
+// RangeTrace returns the recorded decision-range trajectory (nil unless
+// EnableRangeTrace was called).
+func (j *Jury) RangeTrace() []RangePoint { return j.rangeTrace }

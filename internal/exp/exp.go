@@ -8,6 +8,7 @@ package exp
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/cc"
@@ -23,8 +24,17 @@ import (
 	"repro/internal/cc/vivace"
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/simcheck"
 	"repro/internal/traces"
 )
+
+// ForceCheck attaches a simcheck invariant checker to every scenario Run
+// executes, regardless of Scenario.Check. It is initialized from the
+// JURY_SIMCHECK environment variable so production figure runs can be
+// audited without code changes (see EXPERIMENTS.md), and the experiment
+// package's own tests turn it on in TestMain so the whole short suite runs
+// under the invariant checker.
+var ForceCheck = os.Getenv("JURY_SIMCHECK") != ""
 
 // Schemes lists every congestion-control scheme the harness can run.
 var Schemes = []string{
@@ -92,6 +102,9 @@ type Scenario struct {
 	Flows       []FlowSpec
 	Horizon     time.Duration
 	Seed        uint64
+	// Check attaches a simcheck invariant checker to the run; Run fails if
+	// any invariant is violated. Overridden to true globally by ForceCheck.
+	Check bool
 }
 
 // BufferBDP returns the byte size of n bandwidth-delay products for the
@@ -106,6 +119,11 @@ type RunResult struct {
 	Flows       []*netsim.Flow
 	Link        *netsim.Link
 	Utilization float64
+	// Digest fingerprints the run (event stream + final statistics) when
+	// the invariant checker was attached; zero otherwise.
+	Digest uint64
+	// Checked reports whether the run executed under the invariant checker.
+	Checked bool
 }
 
 // Run executes a scenario.
@@ -141,11 +159,24 @@ func Run(s Scenario) (*RunResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
+	var ck *simcheck.Checker
+	if s.Check || ForceCheck {
+		ck = simcheck.Attach(n)
+	}
 	n.Run(s.Horizon)
-	return &RunResult{
+	res := &RunResult{
 		Scenario:    s,
 		Flows:       n.Flows(),
 		Link:        link,
 		Utilization: link.Utilization(s.Horizon),
-	}, nil
+	}
+	if ck != nil {
+		ck.Finish()
+		if err := ck.Err(); err != nil {
+			return nil, fmt.Errorf("exp: scenario %q: %w", s.Name, err)
+		}
+		res.Digest = ck.Digest()
+		res.Checked = true
+	}
+	return res, nil
 }

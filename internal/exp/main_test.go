@@ -1,0 +1,15 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain forces the simcheck invariant checker onto every scenario the
+// experiment tests run: each figure and table of the short suite doubles as
+// an invariant audit of the emulator, and any violation fails the test that
+// triggered it.
+func TestMain(m *testing.M) {
+	ForceCheck = true
+	os.Exit(m.Run())
+}

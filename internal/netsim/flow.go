@@ -159,6 +159,9 @@ func newFlow(n *Network, cfg FlowConfig, rng *simcore.RNG) *Flow {
 // Name returns the flow's configured name.
 func (f *Flow) Name() string { return f.cfg.Name }
 
+// Config returns the flow's configuration.
+func (f *Flow) Config() FlowConfig { return f.cfg }
+
 // CC exposes the flow's controller (experiments use this to steer Manual
 // controllers or inspect scheme internals).
 func (f *Flow) CC() cc.Algorithm { return f.alg }
@@ -318,6 +321,9 @@ func (f *Flow) sendPacket(now time.Duration) {
 	f.rec.sentPackets++
 	f.total.sentBytes += int64(p.size)
 	f.total.sentPackets++
+	if tap := f.net.tap; tap != nil {
+		tap.PacketSent(f, p.size)
+	}
 	if f.cfg.ExtraOneWay > 0 {
 		f.net.eng.ScheduleArgAfter(f.cfg.ExtraOneWay, f.advanceFn, p)
 	} else {
@@ -342,6 +348,9 @@ func (f *Flow) onAck(p *packet) {
 	size := p.size
 	rtt := now - sentAt
 	f.inflight--
+	if tap := f.net.tap; tap != nil {
+		tap.PacketAcked(f, size, rtt)
+	}
 	if f.tracker != nil {
 		f.tracker.onAck(p.ctrlIdx, now, size, rtt)
 	}
@@ -386,6 +395,9 @@ func (f *Flow) onLossDetected(p *packet) {
 	sentAt := p.sentAt
 	size := p.size
 	f.inflight--
+	if tap := f.net.tap; tap != nil {
+		tap.PacketLost(f, size)
+	}
 	if f.tracker != nil {
 		f.tracker.onLoss(p.ctrlIdx)
 	}

@@ -100,11 +100,17 @@ func (l *Link) Utilization(elapsed time.Duration) float64 {
 func (l *Link) arrive(p *packet) {
 	if l.cfg.LossRate > 0 && l.rng.Bernoulli(l.cfg.LossRate) {
 		l.stats.RandomDrops++
+		if tap := l.net.tap; tap != nil {
+			tap.QueueDropped(l, p.size, true)
+		}
 		p.flow.onDrop(p)
 		return
 	}
 	if l.qBytes+int64(p.size) > int64(l.cfg.BufferBytes) {
 		l.stats.OverflowDrops++
+		if tap := l.net.tap; tap != nil {
+			tap.QueueDropped(l, p.size, false)
+		}
 		p.flow.onDrop(p)
 		return
 	}
@@ -112,6 +118,9 @@ func (l *Link) arrive(p *packet) {
 	l.qBytes += int64(p.size)
 	if l.qBytes > l.stats.MaxQueueBytes {
 		l.stats.MaxQueueBytes = l.qBytes
+	}
+	if tap := l.net.tap; tap != nil {
+		tap.QueueEnqueued(l, p.size)
 	}
 	if !l.busy {
 		l.startTx()
@@ -145,6 +154,9 @@ func (l *Link) finishTx(p *packet) {
 	l.qBytes -= int64(p.size)
 	l.stats.DeliveredBytes += int64(p.size)
 	l.stats.DeliveredPackets++
+	if tap := l.net.tap; tap != nil {
+		tap.QueueDeparted(l, p.size)
+	}
 
 	prop := l.cfg.Delay
 	if l.cfg.JitterStd > 0 {

@@ -20,8 +20,36 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cc"
 	"repro/internal/simcore"
 )
+
+// Tap observes packet- and interval-level emulator events. All methods run
+// synchronously on the simulation goroutine at the instant the event occurs,
+// so implementations may read the current state of the flow, link, and
+// engine (Flow.CC(), Link.QueueBytes(), Network.Now(), ...). The primary
+// implementation is the runtime invariant checker in internal/simcheck;
+// taps cost one nil-check per packet event when disabled.
+type Tap interface {
+	// PacketSent fires when a flow transmits a packet.
+	PacketSent(f *Flow, bytes int)
+	// PacketAcked fires when a packet's acknowledgment reaches the sender
+	// (even if the flow has already stopped sending).
+	PacketAcked(f *Flow, bytes int, rtt time.Duration)
+	// PacketLost fires when the sender detects a packet loss.
+	PacketLost(f *Flow, bytes int)
+	// QueueEnqueued fires after a packet joins a link's DropTail queue.
+	QueueEnqueued(l *Link, bytes int)
+	// QueueDeparted fires after a packet finishes serialization and leaves
+	// the queue.
+	QueueDeparted(l *Link, bytes int)
+	// QueueDropped fires when a link discards an arriving packet; random
+	// distinguishes loss-rate drops from buffer overflow.
+	QueueDropped(l *Link, bytes int, random bool)
+	// IntervalDelivered fires when send-attributed interval statistics are
+	// handed to an interval-driven controller.
+	IntervalDelivered(f *Flow, s cc.IntervalStats)
+}
 
 // Config parameterizes a Network.
 type Config struct {
@@ -40,6 +68,7 @@ type Network struct {
 	cfg   Config
 	links []*Link
 	flows []*Flow
+	tap   Tap
 }
 
 // New returns an empty network.
@@ -57,6 +86,13 @@ func New(cfg Config) *Network {
 // Engine exposes the underlying event engine (for experiment scripts that
 // schedule custom probes, e.g. the Fig. 4/5 signal studies).
 func (n *Network) Engine() *simcore.Engine { return n.eng }
+
+// SetTap installs an event observer (nil detaches it). Call it before Run;
+// installing a tap mid-simulation observes only subsequent events.
+func (n *Network) SetTap(t Tap) { n.tap = t }
+
+// Tap returns the installed observer (nil if none).
+func (n *Network) Tap() Tap { return n.tap }
 
 // Now reports current virtual time.
 func (n *Network) Now() time.Duration { return n.eng.Now() }

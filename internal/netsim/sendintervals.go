@@ -27,7 +27,14 @@ const sendIntervalRing = 1024
 
 // sendInterval aggregates the fate of packets sent during one interval.
 type sendInterval struct {
-	used         bool
+	used bool
+	// idx is the interval index this slot currently represents. Ring slots
+	// are reused once the window wraps, so feedback carries the interval
+	// index it was stamped with at send time and is matched against idx on
+	// arrival: an ACK or loss for a force-delivered interval whose slot now
+	// belongs to a newer interval is stale and must be ignored, not folded
+	// into (and mis-counted against) the newer interval's statistics.
+	idx          int64
 	ended        bool
 	endedAt      time.Duration
 	sentBytes    int64
@@ -81,8 +88,8 @@ func (t *intervalTracker) onSend(size int) int64 {
 // onAck folds an acknowledgment into its send interval.
 func (t *intervalTracker) onAck(idx int64, now time.Duration, bytes int, rtt time.Duration) {
 	s := t.slot(idx)
-	if !s.used {
-		return // force-delivered long ago
+	if !s.used || s.idx != idx {
+		return // force-delivered long ago (slot may belong to a newer interval)
 	}
 	s.ackedBytes += int64(bytes)
 	s.ackedPackets++
@@ -100,7 +107,7 @@ func (t *intervalTracker) onAck(idx int64, now time.Duration, bytes int, rtt tim
 // onLoss folds a detected loss into its send interval.
 func (t *intervalTracker) onLoss(idx int64) {
 	s := t.slot(idx)
-	if !s.used {
+	if !s.used || s.idx != idx {
 		return
 	}
 	s.lostPackets++
@@ -120,7 +127,7 @@ func (t *intervalTracker) closeCurrent(f *Flow, now time.Duration) {
 		t.deliver(f, t.next, now) // should not happen; safety valve
 	}
 	ns := t.slot(t.idx)
-	*ns = sendInterval{used: true}
+	*ns = sendInterval{used: true, idx: t.idx}
 }
 
 // tryDeliver hands every completed interval (ended, nothing outstanding) to
@@ -157,6 +164,9 @@ func (t *intervalTracker) deliver(f *Flow, idx int64, now time.Duration) {
 	}
 	*s = sendInterval{}
 	t.next = idx + 1
+	if tap := f.net.tap; tap != nil {
+		tap.IntervalDelivered(f, stats)
+	}
 	if f.active {
 		t.ia.OnInterval(stats)
 		f.trySend()

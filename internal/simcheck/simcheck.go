@@ -1,0 +1,328 @@
+// Package simcheck is the simulation correctness harness: runtime invariant
+// checking, event-stream digests, and the metamorphic/differential test
+// layer for the emulator stack (simcore, netsim, core).
+//
+// The north-star system runs millions of scenarios whose figures are only as
+// trustworthy as the emulator underneath; after the hot paths were rebuilt
+// around pooled events, packet free-lists, and ring-buffered interval
+// statistics, the dominant risk is *silent* corruption that still produces
+// plausible curves. A Checker attaches to a netsim.Network as a Tap plus a
+// simcore event hook and continuously verifies:
+//
+//   - packet conservation per flow: sent = acked + lost + in-flight, with
+//     in-flight never negative (catches free-list double-release/reuse);
+//   - DropTail queue accounting per link: the checker's independently
+//     maintained byte count matches Link.QueueBytes() and never exceeds the
+//     configured capacity;
+//   - RTT floor: every ACK's RTT is at least the flow's propagation-only
+//     base RTT (queueing and jitter only ever add delay);
+//   - virtual-clock monotonicity across the whole event stream;
+//   - controller sanity: cwnd and pacing rate are finite and non-negative
+//     whenever the flow transmits;
+//   - interval-statistics closure: every delivered cc.IntervalStats has
+//     non-negative fields and acked+lost ≤ sent (catches the send-interval
+//     ring misattributing stale feedback after a wrap);
+//   - link throughput ≤ capacity over the run (fixed-rate links).
+//
+// Tests attach it via Attach; production experiment runs enable it with
+// exp.Scenario.Check or the JURY_SIMCHECK environment variable (see
+// internal/exp). The checker also folds every executed event into an FNV-1a
+// stream digest, which the golden determinism tests compare across runs and
+// across PRs.
+package simcheck
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/netsim"
+)
+
+// maxRecorded bounds how many violations are kept with full detail; a
+// systematically broken simulation would otherwise accumulate one violation
+// per packet. The total count is always exact.
+const maxRecorded = 64
+
+// Violation describes one invariant breach.
+type Violation struct {
+	Time   time.Duration // virtual time of the breach
+	Rule   string        // "conservation", "queue", "rtt-floor", "clock", "control", "interval", "capacity"
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%v %s: %s", v.Time, v.Rule, v.Detail)
+}
+
+// flowAcct is the checker's independent per-flow ledger.
+type flowAcct struct {
+	sent      int64
+	acked     int64
+	lost      int64
+	intervals int64
+}
+
+// linkAcct is the checker's independent per-link ledger.
+type linkAcct struct {
+	qBytes    int64
+	enqueued  int64
+	departed  int64
+	dropped   int64
+	enqBytes  int64
+	depBytes  int64
+	dropBytes int64
+	maxPkt    int64 // largest packet seen (capacity-check slack)
+}
+
+// Checker verifies runtime invariants of one Network. Attach it before Run;
+// call Finish after the run for end-of-run checks and the final verdict.
+type Checker struct {
+	net   *netsim.Network
+	flows map[*netsim.Flow]*flowAcct
+	links map[*netsim.Link]*linkAcct
+
+	violations []Violation
+	nViolation int64
+
+	lastEventAt time.Duration
+	events      uint64
+	stream      uint64 // FNV-1a fold of the executed event stream
+}
+
+// Attach installs a Checker on the network as its Tap and engine event hook,
+// replacing any previous ones.
+func Attach(n *netsim.Network) *Checker {
+	c := &Checker{
+		net:    n,
+		flows:  make(map[*netsim.Flow]*flowAcct),
+		links:  make(map[*netsim.Link]*linkAcct),
+		stream: fnvOffset,
+	}
+	n.SetTap(c)
+	n.Engine().SetEventHook(c.onEvent)
+	return c
+}
+
+// violate records a breach (detail formatting is skipped once the record cap
+// is reached, keeping broken runs cheap).
+func (c *Checker) violate(rule, format string, args ...any) {
+	c.nViolation++
+	if len(c.violations) >= maxRecorded {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Time:   c.net.Now(),
+		Rule:   rule,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *Checker) flow(f *netsim.Flow) *flowAcct {
+	a := c.flows[f]
+	if a == nil {
+		a = &flowAcct{}
+		c.flows[f] = a
+	}
+	return a
+}
+
+func (c *Checker) link(l *netsim.Link) *linkAcct {
+	a := c.links[l]
+	if a == nil {
+		a = &linkAcct{}
+		c.links[l] = a
+	}
+	return a
+}
+
+// onEvent is the simcore hook: clock monotonicity plus the stream digest.
+func (c *Checker) onEvent(at time.Duration, seq uint64) {
+	if at < c.lastEventAt {
+		c.violate("clock", "event at %v after clock reached %v", at, c.lastEventAt)
+	}
+	c.lastEventAt = at
+	c.events++
+	c.stream = fnvFold(c.stream, uint64(at))
+}
+
+// checkControl verifies the controller's externally visible state.
+func (c *Checker) checkControl(f *netsim.Flow) {
+	cwnd := f.CC().CWND()
+	if math.IsNaN(cwnd) || math.IsInf(cwnd, 0) || cwnd < 0 {
+		c.violate("control", "flow %s cwnd %v", f.Name(), cwnd)
+	}
+	rate := f.CC().PacingRate()
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+		c.violate("control", "flow %s pacing rate %v", f.Name(), rate)
+	}
+}
+
+// PacketSent implements netsim.Tap.
+func (c *Checker) PacketSent(f *netsim.Flow, bytes int) {
+	a := c.flow(f)
+	a.sent++
+	if bytes <= 0 {
+		c.violate("conservation", "flow %s sent packet of %d bytes", f.Name(), bytes)
+	}
+	c.checkControl(f)
+}
+
+// PacketAcked implements netsim.Tap.
+func (c *Checker) PacketAcked(f *netsim.Flow, bytes int, rtt time.Duration) {
+	a := c.flow(f)
+	a.acked++
+	if inflight := a.sent - a.acked - a.lost; inflight < 0 {
+		c.violate("conservation", "flow %s in-flight %d after ack (sent %d acked %d lost %d)",
+			f.Name(), inflight, a.sent, a.acked, a.lost)
+	}
+	if base := f.BaseRTT(); rtt < base {
+		c.violate("rtt-floor", "flow %s RTT %v below propagation floor %v", f.Name(), rtt, base)
+	}
+}
+
+// PacketLost implements netsim.Tap.
+func (c *Checker) PacketLost(f *netsim.Flow, bytes int) {
+	a := c.flow(f)
+	a.lost++
+	if inflight := a.sent - a.acked - a.lost; inflight < 0 {
+		c.violate("conservation", "flow %s in-flight %d after loss (sent %d acked %d lost %d)",
+			f.Name(), inflight, a.sent, a.acked, a.lost)
+	}
+}
+
+// checkQueue cross-validates the link's queue byte count against the
+// checker's own ledger and the configured capacity.
+func (c *Checker) checkQueue(l *netsim.Link, a *linkAcct) {
+	q := l.QueueBytes()
+	if q != a.qBytes {
+		c.violate("queue", "link queue %d B but ledger says %d B", q, a.qBytes)
+	}
+	if q < 0 {
+		c.violate("queue", "link queue %d B negative", q)
+	}
+	if capBytes := int64(l.Config().BufferBytes); q > capBytes {
+		c.violate("queue", "link queue %d B exceeds capacity %d B", q, capBytes)
+	}
+}
+
+// QueueEnqueued implements netsim.Tap.
+func (c *Checker) QueueEnqueued(l *netsim.Link, bytes int) {
+	a := c.link(l)
+	a.enqueued++
+	a.enqBytes += int64(bytes)
+	a.qBytes += int64(bytes)
+	if int64(bytes) > a.maxPkt {
+		a.maxPkt = int64(bytes)
+	}
+	c.checkQueue(l, a)
+}
+
+// QueueDeparted implements netsim.Tap.
+func (c *Checker) QueueDeparted(l *netsim.Link, bytes int) {
+	a := c.link(l)
+	a.departed++
+	a.depBytes += int64(bytes)
+	a.qBytes -= int64(bytes)
+	c.checkQueue(l, a)
+}
+
+// QueueDropped implements netsim.Tap.
+func (c *Checker) QueueDropped(l *netsim.Link, bytes int, random bool) {
+	a := c.link(l)
+	a.dropped++
+	a.dropBytes += int64(bytes)
+}
+
+// IntervalDelivered implements netsim.Tap: every delivered interval must
+// close its own books.
+func (c *Checker) IntervalDelivered(f *netsim.Flow, s cc.IntervalStats) {
+	a := c.flow(f)
+	a.intervals++
+	if s.AckedPackets < 0 || s.LostPackets < 0 || s.SentPackets < 0 ||
+		s.AckedBytes < 0 || s.SentBytes < 0 {
+		c.violate("interval", "flow %s negative interval counters %+v", f.Name(), s)
+	}
+	if s.AckedPackets+s.LostPackets > s.SentPackets {
+		c.violate("interval", "flow %s interval acked %d + lost %d > sent %d (stale feedback misattributed)",
+			f.Name(), s.AckedPackets, s.LostPackets, s.SentPackets)
+	}
+	if s.AvgRTT < 0 || s.MinRTT < 0 {
+		c.violate("interval", "flow %s negative interval RTT (avg %v min %v)", f.Name(), s.AvgRTT, s.MinRTT)
+	}
+	if s.AckedPackets > 0 && s.AvgRTT < s.MinRTT {
+		c.violate("interval", "flow %s interval avg RTT %v below min %v", f.Name(), s.AvgRTT, s.MinRTT)
+	}
+}
+
+// Finish runs the end-of-run checks and returns every violation found.
+//
+//   - per-flow conservation against the flow's own lifetime statistics
+//     (sent must match exactly; acked/lost are cross-checked only for flows
+//     that never stop early, since a stopped flow's stats intentionally
+//     exclude post-stop feedback);
+//   - per-link byte conservation: enqueued = departed + still queued;
+//   - fixed-rate links cannot have delivered more than capacity × elapsed.
+func (c *Checker) Finish() []Violation {
+	now := c.net.Now()
+	for _, f := range c.net.Flows() {
+		a := c.flows[f]
+		if a == nil {
+			continue // never sent
+		}
+		st := f.Stats()
+		if a.sent != st.SentPackets {
+			c.violate("conservation", "flow %s checker sent %d != stats sent %d", f.Name(), a.sent, st.SentPackets)
+		}
+		if inflight := a.sent - a.acked - a.lost; inflight < 0 {
+			c.violate("conservation", "flow %s final in-flight %d", f.Name(), inflight)
+		}
+		if f.Config().Duration == 0 {
+			if a.acked != st.AckedPackets || a.lost != st.LostPackets {
+				c.violate("conservation", "flow %s checker acked/lost %d/%d != stats %d/%d",
+					f.Name(), a.acked, a.lost, st.AckedPackets, st.LostPackets)
+			}
+		}
+	}
+	for _, l := range c.net.Links() {
+		a := c.links[l]
+		if a == nil {
+			continue
+		}
+		if got := a.enqBytes - a.depBytes; got != l.QueueBytes() {
+			c.violate("queue", "link final queue %d B but enqueued-departed = %d B", l.QueueBytes(), got)
+		}
+		cfg := l.Config()
+		if cfg.Trace == nil && cfg.Rate > 0 && now > 0 {
+			// Slack: per-packet serialization times round down to whole
+			// nanoseconds (a relative error < 1e-6 at any realistic rate)
+			// and one packet may straddle the end of the run.
+			budget := cfg.Rate*now.Seconds()*(1+1e-6) + float64(2*a.maxPkt*8)
+			if delivered := float64(l.Stats().DeliveredBytes) * 8; delivered > budget {
+				c.violate("capacity", "link delivered %.0f bits > capacity budget %.0f bits over %v",
+					delivered, budget, now)
+			}
+		}
+	}
+	return c.Violations()
+}
+
+// Violations returns the recorded breaches (capped at maxRecorded; see
+// Count for the exact total).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Count returns the exact number of violations observed.
+func (c *Checker) Count() int64 { return c.nViolation }
+
+// Err returns nil if no invariant was violated, otherwise an error
+// summarizing the first breach and the total count.
+func (c *Checker) Err() error {
+	if c.nViolation == 0 {
+		return nil
+	}
+	return fmt.Errorf("simcheck: %d invariant violation(s), first: %s", c.nViolation, c.violations[0])
+}
+
+// Events returns how many engine events the checker observed.
+func (c *Checker) Events() uint64 { return c.events }

@@ -111,6 +111,13 @@ type Engine struct {
 	// steady-state simulation schedules without heap allocation (packet-level
 	// runs schedule one event per packet hop).
 	free []*Event
+
+	// eventHook, when non-nil, observes every executed event (its firing
+	// time and sequence number) just before the callback runs. The
+	// correctness harness (internal/simcheck) uses it to verify clock
+	// monotonicity and to fold the full event stream into a digest, so two
+	// runs of the same scenario can be compared bit-for-bit.
+	eventHook func(at time.Duration, seq uint64)
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -192,6 +199,15 @@ func (e *Engine) ScheduleArgAfter(d time.Duration, fn func(any), arg any) Timer 
 	return e.ScheduleArg(e.now+d, fn, arg)
 }
 
+// SetEventHook registers fn to observe every executed event. The hook runs
+// on the simulation goroutine immediately before each event's callback, with
+// the event's firing time and global sequence number. A nil fn detaches the
+// hook. At most one hook is registered at a time; internal/simcheck
+// multiplexes its checks over it.
+func (e *Engine) SetEventHook(fn func(at time.Duration, seq uint64)) {
+	e.eventHook = fn
+}
+
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -219,6 +235,9 @@ func (e *Engine) Run(horizon time.Duration) int {
 			continue
 		}
 		e.now = ev.at
+		if e.eventHook != nil {
+			e.eventHook(ev.at, ev.seq)
+		}
 		if ev.argFn != nil {
 			ev.argFn(ev.arg)
 		} else {

@@ -1,0 +1,50 @@
+package traces
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzMahimahiParse hammers the Mahimahi trace parser with arbitrary input.
+// The parser fronts files downloaded from the wild, so it must reject — not
+// panic or OOM on — anything malformed. Two of the seed corpus entries are
+// former crashers: a timestamp whose Duration conversion overflowed int64
+// (negative bucket index → slice panic) and a multi-year span that would
+// allocate gigabytes of buckets.
+func FuzzMahimahiParse(f *testing.F) {
+	f.Add([]byte("0\n3\n7\n120\n"), int64(100))
+	f.Add([]byte("# comment\n\n5\n5\n5\n9\n"), int64(1))
+	f.Add([]byte("10\n4\n"), int64(100))               // unsorted → error
+	f.Add([]byte("-3\n"), int64(50))                   // negative → error
+	f.Add([]byte("9223372036854775807\n"), int64(100)) // wraps to exactly -1ms
+	f.Add([]byte("9300000000000\n"), int64(100))       // Duration overflow → negative index panic
+	f.Add([]byte("9000000000000\n"), int64(100))       // 285-year span → bucket-count blowup
+	f.Add([]byte("nonsense\n"), int64(0))              // parse error, default bucket
+	f.Fuzz(func(t *testing.T, data []byte, bucketMs int64) {
+		bucket := time.Duration(bucketMs) * time.Millisecond
+		s, err := ParseMahimahi(bytes.NewReader(data), bucket)
+		if err != nil {
+			if s != nil {
+				t.Fatal("non-nil trace alongside error")
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("nil trace without error")
+		}
+		if s.Loop <= 0 {
+			t.Fatalf("parsed trace does not loop: Loop=%v", s.Loop)
+		}
+		if len(s.Points) == 0 || len(s.Points) > maxMahimahiBuckets {
+			t.Fatalf("parsed trace has %d points", len(s.Points))
+		}
+		for _, off := range []time.Duration{0, s.Loop / 2, s.Loop - 1, 3 * s.Loop} {
+			r := s.RateAt(off)
+			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("RateAt(%v) = %v", off, r)
+			}
+		}
+	})
+}

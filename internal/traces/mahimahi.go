@@ -20,6 +20,17 @@ import (
 // MahimahiMTU is the packet size a Mahimahi delivery opportunity carries.
 const MahimahiMTU = 1500
 
+// maxMahimahiBuckets bounds the piecewise-constant representation of a
+// parsed trace (2^22 buckets ≈ 4.8 days at the default 100 ms bucket).
+// Real captures are minutes long; a larger span is almost certainly a
+// corrupt file, and honoring it would allocate gigabytes.
+const maxMahimahiBuckets = 1 << 22
+
+// maxMahimahiMs is the largest timestamp that converts to a time.Duration
+// without overflowing int64 nanoseconds. Larger values used to wrap the
+// conversion negative and panic the bucket indexing.
+const maxMahimahiMs = int64(1<<63-1) / int64(time.Millisecond)
+
 // ParseMahimahi reads a Mahimahi packet-delivery trace and returns a
 // looping step trace whose rate over each bucket (default 100 ms) is the
 // number of delivery opportunities in the bucket times the MTU.
@@ -43,6 +54,9 @@ func ParseMahimahi(r io.Reader, bucket time.Duration) (*Step, error) {
 		if ms < 0 {
 			return nil, fmt.Errorf("traces: mahimahi line %d: negative timestamp %d", line, ms)
 		}
+		if ms >= maxMahimahiMs {
+			return nil, fmt.Errorf("traces: mahimahi line %d: timestamp %d ms overflows", line, ms)
+		}
 		if n := len(deliveries); n > 0 && ms < deliveries[n-1] {
 			return nil, fmt.Errorf("traces: mahimahi line %d: timestamps not sorted (%d after %d)", line, ms, deliveries[n-1])
 		}
@@ -56,10 +70,20 @@ func ParseMahimahi(r io.Reader, bucket time.Duration) (*Step, error) {
 	}
 
 	span := time.Duration(deliveries[len(deliveries)-1]+1) * time.Millisecond
-	buckets := int((span + bucket - 1) / bucket)
-	if buckets < 1 {
-		buckets = 1
+	// Ceiling division without span+bucket-1, which can overflow int64 when
+	// the span is near the Duration limit.
+	nb := int64(span) / int64(bucket)
+	if int64(span)%int64(bucket) != 0 {
+		nb++
 	}
+	if nb < 1 {
+		nb = 1
+	}
+	if nb > maxMahimahiBuckets {
+		return nil, fmt.Errorf("traces: mahimahi span %v needs %d buckets of %v (max %d)",
+			span, nb, bucket, maxMahimahiBuckets)
+	}
+	buckets := int(nb)
 	counts := make([]int, buckets)
 	for _, ms := range deliveries {
 		idx := int(time.Duration(ms) * time.Millisecond / bucket)

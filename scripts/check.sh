@@ -1,10 +1,11 @@
 #!/bin/sh
 # check.sh — the repository's fast verification gate.
 #
-# Runs formatting, vet, build, the short test suite, and the race detector
-# over the concurrent packages (the parallel experiment harness and the
-# multi-goroutine trainer). The full suite (go test ./...) adds the
-# full-scale emulation tests gated behind -short.
+# Runs formatting, vet, build, the short test suite, the race detector over
+# every package, and short fuzz smokes on the wire/trace parsers. The full
+# suite (go test ./...) adds the full-scale emulation tests gated behind
+# -short; JURY_SIMCHECK=1 additionally audits every experiment scenario with
+# the simcheck invariant checker (exp's own tests always do).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,7 +26,11 @@ go build ./...
 echo "== go test -short ./..."
 go test -short ./...
 
-echo "== go test -race ./internal/exp ./internal/rl"
-go test -short -race ./internal/exp ./internal/rl
+echo "== go test -race -short ./..."
+go test -race -short ./...
+
+echo "== fuzz smoke (10s each)"
+go test -run='^$' -fuzz='^FuzzMahimahiParse$' -fuzztime=10s ./internal/traces
+go test -run='^$' -fuzz='^FuzzAgentRPCDecode$' -fuzztime=10s ./internal/agentrpc
 
 echo "OK"
