@@ -5,6 +5,13 @@
 //
 //	jurysim -scheme jury -rate 100 -rtt 30 -flows 3 -duration 120
 //	jurysim -scheme cubic,jury -rate 50 -rtt 40 -loss 0.005
+//
+// The "faults" subcommand runs the robustness table instead: every scheme
+// under every deterministic fault case (burst loss, reordering, duplication,
+// jitter, link flaps, combined), with fairness, utilization, and
+// graceful-degradation counters per cell:
+//
+//	jurysim faults -schemes jury,bbr,cubic -rate 60 -rtt 30 -flows 3 -duration 60
 package main
 
 import (
@@ -20,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "faults" {
+		runFaults(os.Args[2:])
+		return
+	}
 	var (
 		schemes  = flag.String("scheme", "jury", "comma-separated schemes; a single name is replicated -flows times")
 		rateMbps = flag.Float64("rate", 100, "bottleneck capacity, Mbps")
@@ -104,19 +115,60 @@ func main() {
 	}
 
 	if *series {
-		for _, f := range res.Flows {
-			fmt.Printf("\n%s throughput (Mbps) per second:\n", f.Name())
-			var acc float64
-			var n int
-			next := time.Second
-			for _, p := range f.Series() {
-				acc += p.ThroughputBps
-				n++
-				if p.T >= next {
-					fmt.Printf("  t=%3ds %8.2f\n", int(next.Seconds()), acc/float64(n)/1e6)
-					acc, n = 0, 0
-					next += time.Second
-				}
+		printSeries(res)
+	}
+}
+
+// runFaults is the `jurysim faults` subcommand: the robustness table of
+// EXPERIMENTS.md (every scheme × every fault case, run checked and in
+// parallel).
+func runFaults(args []string) {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	var (
+		schemes  = fs.String("schemes", "jury,bbr,cubic", "comma-separated schemes to stress")
+		rateMbps = fs.Float64("rate", 60, "bottleneck capacity, Mbps")
+		rttMS    = fs.Float64("rtt", 30, "base round-trip time, ms")
+		flows    = fs.Int("flows", 3, "homogeneous flows per scenario")
+		duration = fs.Duration("duration", 60*time.Second, "simulation horizon")
+		seed     = fs.Uint64("seed", 1, "random seed")
+	)
+	fs.Parse(args)
+
+	o := exp.RobustnessOptions{
+		Rate:     *rateMbps * 1e6,
+		OneWay:   time.Duration(*rttMS/2) * time.Millisecond,
+		Flows:    *flows,
+		Lifetime: *duration,
+		Seed:     *seed,
+	}
+	for _, name := range strings.Split(*schemes, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			o.Schemes = append(o.Schemes, name)
+		}
+	}
+	rows, err := exp.RobustnessTable(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jurysim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("robustness table: %.1f Mbps, %.0f ms RTT, %d flows, %v, seed %d (all runs invariant-checked)\n",
+		*rateMbps, *rttMS, *flows, *duration, *seed)
+	fmt.Print(exp.FormatRobustnessTable(rows))
+}
+
+func printSeries(res *exp.RunResult) {
+	for _, f := range res.Flows {
+		fmt.Printf("\n%s throughput (Mbps) per second:\n", f.Name())
+		var acc float64
+		var n int
+		next := time.Second
+		for _, p := range f.Series() {
+			acc += p.ThroughputBps
+			n++
+			if p.T >= next {
+				fmt.Printf("  t=%3ds %8.2f\n", int(next.Seconds()), acc/float64(n)/1e6)
+				acc, n = 0, 0
+				next += time.Second
 			}
 		}
 	}

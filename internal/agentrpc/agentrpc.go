@@ -43,10 +43,17 @@ type Policy interface {
 	Decide(state []float64) (mu, delta float64)
 }
 
+// defaultReadTimeout bounds how long a connection may sit idle between
+// requests before the server reclaims it. Healthy datapaths decide every
+// control interval (~30 ms); a connection silent for minutes is a hung or
+// half-closed peer holding a goroutine hostage.
+const defaultReadTimeout = 2 * time.Minute
+
 // Server runs an inference service around a Policy.
 type Server struct {
-	policy Policy
-	ln     net.Listener
+	policy      Policy
+	ln          net.Listener
+	readTimeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -55,6 +62,8 @@ type Server struct {
 	// Decisions counts served requests (atomically guarded by mu; the
 	// request rate is ~33/s per flow, contention is irrelevant).
 	decisions int64
+	// panics counts connections dropped because the policy panicked.
+	panics int64
 }
 
 // Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
@@ -66,9 +75,24 @@ func Serve(addr string, p Policy) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{policy: p, ln: ln, conns: map[net.Conn]struct{}{}}
+	s := &Server{policy: p, ln: ln, readTimeout: defaultReadTimeout, conns: map[net.Conn]struct{}{}}
 	go s.acceptLoop()
 	return s, nil
+}
+
+// SetReadTimeout changes the per-request idle limit (0 disables it). It
+// applies to connections accepted after the call.
+func (s *Server) SetReadTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.readTimeout = d
+	s.mu.Unlock()
+}
+
+// Panics reports how many connections were dropped by a panicking policy.
+func (s *Server) Panics() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.panics
 }
 
 // Addr reports the listening address.
@@ -112,16 +136,32 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
+		// A panicking policy (poisoned weights, buggy experiment code) must
+		// cost one connection, not the whole inference service: the client
+		// falls back locally and redials.
+		if p := recover(); p != nil {
+			s.mu.Lock()
+			s.panics++
+			s.mu.Unlock()
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	s.mu.Lock()
+	readTimeout := s.readTimeout
+	s.mu.Unlock()
 	dec := newRequestReader(conn)
 	for {
+		if readTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(readTimeout)); err != nil {
+				return
+			}
+		}
 		state, ping, err := dec.next()
 		if err != nil {
-			return // io error or protocol violation: drop the connection
+			return // io error, idle timeout, or protocol violation: drop the connection
 		}
 		if ping {
 			var resp [16]byte
@@ -143,6 +183,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// Dial backoff bounds: the first retry after a failed dial waits
+// dialBackoffBase, doubling per consecutive failure up to dialBackoffCap.
+// Without this, a dead service costs every decision a ~100 ms connect
+// timeout — a 3000× stall of the 30 ms control loop turns into one stall
+// every few seconds.
+const (
+	dialBackoffBase = 100 * time.Millisecond
+	dialBackoffCap  = 5 * time.Second
+)
+
+// errDialBackoff reports a redial suppressed by the backoff window; the
+// caller serves the decision from the fallback policy without touching the
+// network.
+var errDialBackoff = errors.New("agentrpc: dial suppressed by backoff")
+
 // Client is a core.Policy backed by a remote inference service, with a
 // local fallback policy for transport failures.
 type Client struct {
@@ -153,9 +208,14 @@ type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 
+	// Capped exponential dial backoff state.
+	dialBackoff time.Duration
+	nextDialAt  time.Time
+
 	// Stats for tests and monitoring.
 	remoteDecisions   int64
 	fallbackDecisions int64
+	dialAttempts      int64
 }
 
 // Dial connects to a server. The fallback policy (required) answers while
@@ -172,15 +232,35 @@ func Dial(addr string, fallback Policy) (*Client, error) {
 }
 
 func (c *Client) redial() error {
+	if !c.nextDialAt.IsZero() && time.Now().Before(c.nextDialAt) {
+		return errDialBackoff
+	}
+	c.dialAttempts++
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
+		if c.dialBackoff == 0 {
+			c.dialBackoff = dialBackoffBase
+		} else if c.dialBackoff *= 2; c.dialBackoff > dialBackoffCap {
+			c.dialBackoff = dialBackoffCap
+		}
+		c.nextDialAt = time.Now().Add(c.dialBackoff)
 		return err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // one request per control interval: latency over batching
 	}
 	c.conn = conn
+	c.dialBackoff = 0
+	c.nextDialAt = time.Time{}
 	return nil
+}
+
+// DialAttempts reports how many times the client actually tried to connect
+// (suppressed backoff attempts are not counted).
+func (c *Client) DialAttempts() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dialAttempts
 }
 
 // Close shuts the connection down.

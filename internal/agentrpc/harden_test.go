@@ -1,0 +1,155 @@
+package agentrpc
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// panicPolicy panics when the first state value is negative — a stand-in
+// for poisoned weights or buggy experiment code inside the service.
+type panicPolicy struct{}
+
+func (panicPolicy) Decide(state []float64) (float64, float64) {
+	if len(state) > 0 && state[0] < 0 {
+		panic("poisoned inference")
+	}
+	return 0.5, 0.5
+}
+
+// TestDialBackoffSuppressesDialStorm: with the service dead, a burst of
+// decisions must not pay one connect timeout each — after the first failed
+// dial, redials are suppressed until the backoff window expires.
+func TestDialBackoffSuppressesDialStorm(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", echoPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(srv.Addr(), constPolicy{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Decide([]float64{1}) // healthy round trip
+	srv.Close()
+
+	before := cl.DialAttempts()
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		mu, delta := cl.Decide([]float64{1})
+		if cl.RemoteDecisions() > 1 && (mu != 0.25 || delta != 0.75) {
+			t.Fatalf("decision %d not from fallback: (%v, %v)", i, mu, delta)
+		}
+	}
+	// 50 calls, each would previously have paid up to a full dial timeout.
+	// With backoff, at most a handful of dials fit in the elapsed window.
+	attempts := cl.DialAttempts() - before
+	elapsed := time.Since(start)
+	if max := 2 + int64(elapsed/dialBackoffBase); attempts > max {
+		t.Fatalf("%d dial attempts in %v — backoff not suppressing the storm (max %d)",
+			attempts, elapsed, max)
+	}
+	if cl.FallbackDecisions() == 0 {
+		t.Fatal("no fallback decisions recorded")
+	}
+}
+
+// TestClientReconnectsAfterServerReturns: backoff must delay redials, not
+// prevent them — when the service comes back, remote decisions resume.
+func TestClientReconnectsAfterServerReturns(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", echoPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cl, err := Dial(addr, constPolicy{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Decide([]float64{1})
+	srv.Close()
+	for i := 0; i < 3; i++ {
+		cl.Decide([]float64{1}) // fail, enter backoff
+	}
+
+	srv2, err := Serve(addr, echoPolicy{})
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	remoteBefore := cl.RemoteDecisions()
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.RemoteDecisions() == remoteBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("client never reconnected to the returned service")
+		}
+		cl.Decide([]float64{1})
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerSurvivesPanickingPolicy: a panic costs the offending connection
+// only; the listener keeps serving and the client recovers by redialing.
+func TestServerSurvivesPanickingPolicy(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", panicPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr(), constPolicy{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if mu, _ := cl.Decide([]float64{1}); mu != 0.5 {
+		t.Fatalf("healthy decision answered %v, want 0.5", mu)
+	}
+	// Poisoned state: the server connection dies mid-request, the client
+	// must fall back rather than hang or crash.
+	if mu, delta := cl.Decide([]float64{-1}); mu != 0.25 || delta != 0.75 {
+		t.Fatalf("poisoned decision (%v, %v), want the fallback (0.25, 0.75)", mu, delta)
+	}
+	if got := srv.Panics(); got != 1 {
+		t.Fatalf("server recorded %d panics, want 1", got)
+	}
+	// The service itself must still be alive for a fresh (healthy) request.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if mu, _ := cl.Decide([]float64{1}); mu == 0.5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never answered again after a policy panic")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerDropsHungConnection: a connected peer that never sends a request
+// must be reclaimed by the read deadline, not hold its goroutine forever.
+func TestServerDropsHungConnection(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", echoPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetReadTimeout(50 * time.Millisecond)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing. The server must close the connection, observed here as
+	// EOF (or a reset) on our read within a few timeout periods.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil || err == io.ErrNoProgress {
+		t.Fatalf("hung connection read returned %v, want closed-by-server", err)
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never dropped the hung connection")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/cc"
@@ -38,6 +39,13 @@ type Jury struct {
 	lastReward  float64
 	lastOcc     float64
 	intervals   int64
+
+	// Non-finite guard counters (see decide and applyAction): a congestion
+	// controller facing an adversarial network must never let NaN/Inf drive
+	// the window, it degrades to plain AIMD instead — the same shape as the
+	// agentrpc client falling back to a local policy on transport failure.
+	degradedDecisions int64
+	nonfiniteActions  int64
 
 	// Decision-range trace (EnableRangeTrace): one point per control
 	// interval in which the policy was consulted. The metamorphic tests in
@@ -157,26 +165,69 @@ func (j *Jury) OnInterval(s cc.IntervalStats) {
 		// model inference entirely.
 		j.slowStartStep(s)
 	default:
-		state := j.transformer.State()
-		j.lastState = state
-		mu, delta := j.policy.Decide(state)
-		j.lastMu, j.lastDelta = mu, delta
-		a := PostProcess(mu, delta, j.lastOcc)
-		a = j.exploreAction(a)
-		j.applyAction(a)
-		if j.rangeTraceCap != 0 && len(j.rangeTrace) < j.rangeTraceCap {
-			j.rangeTrace = append(j.rangeTrace, RangePoint{
-				Interval:  j.intervals,
-				Mu:        mu,
-				Delta:     delta,
-				Occupancy: j.lastOcc,
-				Action:    a,
-			})
-		}
+		j.decide(s)
 	}
 
 	j.updatePacing(s)
 	j.lastReward = Reward(j.cfg, j.lastOcc, s.AvgRTT, j.minRTT, loss, j.lossMin)
+}
+
+// decide is the model path of the Fig. 2 pipeline, hardened at the decision
+// boundary: non-finite signals or occupancy never reach the policy,
+// non-finite or out-of-range policy output never reaches Eq. 7. Both cases
+// degrade to the AIMD fallback and bump DegradedDecisions.
+func (j *Jury) decide(s cc.IntervalStats) {
+	state := j.transformer.State()
+	j.lastState = state
+	if !finiteFloats(state) || !isFinite(j.lastOcc) {
+		j.degradedDecisions++
+		j.applyAction(j.aimdFallback(s))
+		return
+	}
+	mu, delta := j.policy.Decide(state)
+	if !isFinite(mu) || !isFinite(delta) {
+		j.degradedDecisions++
+		j.applyAction(j.aimdFallback(s))
+		return
+	}
+	mu = cc.Clamp(mu, -1, 1)
+	delta = cc.Clamp(delta, 0, 1)
+	j.lastMu, j.lastDelta = mu, delta
+	a := PostProcess(mu, delta, j.lastOcc)
+	a = j.exploreAction(a)
+	j.applyAction(a)
+	if j.rangeTraceCap != 0 && len(j.rangeTrace) < j.rangeTraceCap {
+		j.rangeTrace = append(j.rangeTrace, RangePoint{
+			Interval:  j.intervals,
+			Mu:        mu,
+			Delta:     delta,
+			Occupancy: j.lastOcc,
+			Action:    a,
+		})
+	}
+}
+
+// aimdFallback is the degraded decision: multiplicative retreat when the
+// interval saw losses, otherwise a full additive-style probe — plain AIMD,
+// safe in any network and independent of every transformed signal.
+func (j *Jury) aimdFallback(s cc.IntervalStats) float64 {
+	if s.LostPackets > 0 {
+		return -1
+	}
+	return 1
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func finiteFloats(vs []float64) bool {
+	for _, v := range vs {
+		if !isFinite(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // PostProcess implements Eq. 6: pick the action inside the decision range
@@ -199,8 +250,15 @@ func (j *Jury) exploreAction(a float64) float64 {
 	return a
 }
 
-// applyAction implements Eq. 7, the multiplicative window update.
+// applyAction implements Eq. 7, the multiplicative window update. The
+// non-finite check is the last line of defense (decide() should have caught
+// everything upstream, so NonFiniteActions staying zero is the proof that
+// the decision-boundary guard is airtight).
 func (j *Jury) applyAction(a float64) {
+	if !isFinite(a) {
+		j.nonfiniteActions++
+		a = -1 // fail toward retreat: never grow the window on garbage
+	}
 	j.lastAction = a
 	if a >= 0 {
 		j.cwnd *= 1 + j.cfg.Alpha*a
@@ -212,6 +270,12 @@ func (j *Jury) applyAction(a float64) {
 	}
 	if j.cwnd > j.cfg.MaxCwnd {
 		j.cwnd = j.cfg.MaxCwnd
+	}
+	if !isFinite(j.cwnd) {
+		// NaN survives both clamps (every comparison is false); a corrupted
+		// window restarts from the floor rather than poisoning the flow.
+		j.nonfiniteActions++
+		j.cwnd = j.cfg.MinCwnd
 	}
 }
 
@@ -276,6 +340,16 @@ func (j *Jury) Signals() Signals { return j.lastSignals }
 
 // Intervals returns how many control intervals have elapsed.
 func (j *Jury) Intervals() int64 { return j.intervals }
+
+// DegradedDecisions returns how many control intervals fell back to the
+// AIMD action because non-finite signals or policy output reached the
+// decision boundary.
+func (j *Jury) DegradedDecisions() int64 { return j.degradedDecisions }
+
+// NonFiniteActions returns how many non-finite actions (or windows) slipped
+// past the decision-boundary guard into Eq. 7. It must stay zero; the
+// robustness experiments assert it.
+func (j *Jury) NonFiniteActions() int64 { return j.nonfiniteActions }
 
 // EnableRangeTrace starts recording one RangePoint per policy decision, up
 // to max points (memory bound: a 60 s run at the default 30 ms interval

@@ -23,6 +23,7 @@ import (
 	"repro/internal/cc/vegas"
 	"repro/internal/cc/vivace"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/simcheck"
 	"repro/internal/traces"
@@ -88,6 +89,10 @@ type FlowSpec struct {
 	Start       time.Duration
 	Duration    time.Duration // 0 = until horizon
 	ExtraOneWay time.Duration
+	// CC, if non-nil, overrides Scheme with a custom controller factory
+	// (Scheme then only labels the flow). Tests use it to inject adversarial
+	// controllers into scenarios.
+	CC func(seed uint64) cc.Algorithm
 }
 
 // Scenario is a single-bottleneck dumbbell setup.
@@ -99,9 +104,13 @@ type Scenario struct {
 	BufferBytes int
 	LossRate    float64
 	PacketSize  int // 0 = default MSS; raise for ≥1 Gbps runs
-	Flows       []FlowSpec
-	Horizon     time.Duration
-	Seed        uint64
+	// Faults attaches deterministic fault processes (burst loss, reordering,
+	// duplication, jitter spikes, blackouts) to the bottleneck link. See
+	// internal/faults and the robustness experiments.
+	Faults  *faults.Config
+	Flows   []FlowSpec
+	Horizon time.Duration
+	Seed    uint64
 	// Check attaches a simcheck invariant checker to the run; Run fails if
 	// any invariant is violated. Overridden to true globally by ForceCheck.
 	Check bool
@@ -138,13 +147,20 @@ func Run(s Scenario) (*RunResult, error) {
 		Delay:       s.OneWayDelay,
 		BufferBytes: s.BufferBytes,
 		LossRate:    s.LossRate,
+		Faults:      s.Faults,
 	})
 	for i, fs := range s.Flows {
 		fs := fs
 		seed := s.Seed*1000 + uint64(i) + 1
-		alg, err := NewScheme(fs.Scheme, seed)
-		if err != nil {
-			return nil, err
+		var alg cc.Algorithm
+		if fs.CC != nil {
+			alg = fs.CC(seed)
+		} else {
+			var err error
+			alg, err = NewScheme(fs.Scheme, seed)
+			if err != nil {
+				return nil, err
+			}
 		}
 		n.AddFlow(netsim.FlowConfig{
 			Name:        fmt.Sprintf("%s-%d", fs.Scheme, i),

@@ -1,7 +1,9 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -52,16 +54,45 @@ func parallelFor(n int, fn func(i int) error) error {
 	return nil
 }
 
+// PanicError is the error a panicking scenario run is converted into: one
+// poisoned run must fail as a per-run error with its stack, not kill the
+// whole figure sweep's process.
+type PanicError struct {
+	Scenario string
+	Value    any
+	Stack    []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exp: scenario %q panicked: %v\n%s", e.Scenario, e.Value, e.Stack)
+}
+
+// runSafe executes Run under a panic guard.
+func runSafe(s Scenario) (r *RunResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = nil
+			err = &PanicError{Scenario: s.Name, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return Run(s)
+}
+
 // RunMany executes scenarios concurrently on a GOMAXPROCS-sized worker pool
 // and returns results in input order. Every scenario builds its own network,
 // event engine, and RNG (seeded from Scenario.Seed), so each result is
 // bit-identical to what a sequential Run(jobs[i]) would produce; only
-// wall-clock time changes. On error, the first failure in input order is
+// wall-clock time changes. A worker that panics surfaces a *PanicError for
+// that scenario (after one retry, in case the panic was transient) instead
+// of crashing the process. On error, the first failure in input order is
 // returned and the results are discarded.
 func RunMany(jobs []Scenario) ([]*RunResult, error) {
 	results := make([]*RunResult, len(jobs))
 	err := parallelFor(len(jobs), func(i int) error {
-		r, err := Run(jobs[i])
+		r, err := runSafe(jobs[i])
+		if _, panicked := err.(*PanicError); panicked {
+			r, err = runSafe(jobs[i])
+		}
 		results[i] = r
 		return err
 	})

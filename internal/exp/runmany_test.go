@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cc"
+	"repro/internal/cc/cubic"
 	"repro/internal/netsim"
 )
 
@@ -141,3 +143,85 @@ func BenchmarkScenario(b *testing.B) {
 }
 
 var _ = []*netsim.Flow(nil) // keep the import tied to the fingerprint helper
+
+// tinyScenario builds the smallest useful run with a custom controller
+// factory, for the panic-recovery tests below.
+func tinyScenario(name string, mk func(seed uint64) cc.Algorithm) Scenario {
+	return Scenario{
+		Name: name, Rate: 10e6, OneWayDelay: 5 * time.Millisecond,
+		BufferBytes: 25_000, Horizon: 2 * time.Second, Seed: 9,
+		Flows: []FlowSpec{{Scheme: "custom", CC: mk}},
+	}
+}
+
+// TestRunManyConvertsPanicToError: one poisoned scenario must surface a
+// *PanicError naming the scenario and carrying the stack, not crash the
+// whole sweep's process.
+func TestRunManyConvertsPanicToError(t *testing.T) {
+	jobs := []Scenario{
+		tinyScenario("healthy", func(uint64) cc.Algorithm { return cubic.New() }),
+		tinyScenario("poisoned", func(uint64) cc.Algorithm {
+			panic("poisoned controller")
+		}),
+	}
+	_, err := RunMany(jobs)
+	if err == nil {
+		t.Fatal("RunMany swallowed a panicking scenario")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError: %v", err, err)
+	}
+	if pe.Scenario != "poisoned" {
+		t.Fatalf("PanicError names scenario %q, want %q", pe.Scenario, "poisoned")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "poisoned controller") {
+		t.Errorf("error text lost the panic value: %q", msg)
+	}
+	if !strings.Contains(msg, "goroutine") {
+		t.Errorf("error text lost the stack trace: %q", msg)
+	}
+}
+
+// TestRunManyRetriesTransientPanic: a panic that does not recur must be
+// absorbed by the single retry.
+func TestRunManyRetriesTransientPanic(t *testing.T) {
+	var calls atomic.Int64
+	jobs := []Scenario{tinyScenario("flaky", func(uint64) cc.Algorithm {
+		if calls.Add(1) == 1 {
+			panic("transient")
+		}
+		return cubic.New()
+	})}
+	results, err := RunMany(jobs)
+	if err != nil {
+		t.Fatalf("RunMany did not retry a transient panic: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("controller factory called %d times, want 2 (initial + retry)", n)
+	}
+	if results[0] == nil || len(results[0].Flows) != 1 {
+		t.Fatal("retry produced no usable result")
+	}
+}
+
+// TestFlowSpecCCOverride: a custom factory replaces the scheme lookup and
+// the flow still moves traffic.
+func TestFlowSpecCCOverride(t *testing.T) {
+	var calls atomic.Int64
+	s := tinyScenario("override", func(uint64) cc.Algorithm {
+		calls.Add(1)
+		return cubic.New()
+	})
+	r, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("factory called %d times, want 1", n)
+	}
+	if r.Flows[0].Stats().AckedBytes == 0 {
+		t.Fatal("overridden flow moved no traffic")
+	}
+}

@@ -1,0 +1,241 @@
+// Package faults defines deterministic network fault processes for the
+// emulator: Gilbert–Elliott burst loss, packet reordering, duplication,
+// delay-jitter spikes, and link blackouts/flaps. The package only holds the
+// configuration types and the stochastic processes themselves; the hook
+// points that apply them to packets live in internal/netsim (see
+// netsim/faults.go and DESIGN.md "Fault injection").
+//
+// Every process draws exclusively from a *simcore.RNG handed to it at
+// construction, so fault-injected runs are reproducible bit-for-bit: the
+// same scenario and seed produce the same drops, delays, and outages
+// regardless of wall-clock time or execution order of other scenarios.
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simcore"
+)
+
+// GEConfig parameterizes a Gilbert–Elliott two-state Markov loss process.
+// The chain advances one step per arriving packet: from Good it moves to Bad
+// with probability PGoodBad, from Bad back to Good with probability
+// PBadGood; the packet is then dropped with the loss probability of the
+// state the chain landed in. With LossBad=1 and LossGood=0 this produces
+// loss bursts whose mean length is 1/PBadGood at a stationary loss rate of
+// PGoodBad/(PGoodBad+PBadGood).
+type GEConfig struct {
+	PGoodBad float64 // per-packet Good→Bad transition probability
+	PBadGood float64 // per-packet Bad→Good transition probability
+	LossGood float64 // drop probability while Good (usually 0)
+	LossBad  float64 // drop probability while Bad (usually 1)
+}
+
+// Validate rejects out-of-range parameters.
+func (c GEConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PGoodBad", c.PGoodBad},
+		{"PBadGood", c.PBadGood},
+		{"LossGood", c.LossGood},
+		{"LossBad", c.LossBad},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: GE %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.PGoodBad == 0 && c.LossGood == 0 {
+		return fmt.Errorf("faults: GE process can never drop (PGoodBad = LossGood = 0)")
+	}
+	if c.PBadGood == 0 && c.PGoodBad > 0 {
+		return fmt.Errorf("faults: GE Bad state is absorbing (PBadGood = 0)")
+	}
+	return nil
+}
+
+// MeanLoss returns the stationary per-packet loss probability of the chain.
+func (c GEConfig) MeanLoss() float64 {
+	if c.PGoodBad+c.PBadGood == 0 {
+		return c.LossGood
+	}
+	pBad := c.PGoodBad / (c.PGoodBad + c.PBadGood)
+	return pBad*c.LossBad + (1-pBad)*c.LossGood
+}
+
+// MeanBurst returns the expected length of a loss burst (consecutive
+// dropped packets) for the common LossBad=1, LossGood=0 configuration: the
+// geometric mean sojourn time of the Bad state.
+func (c GEConfig) MeanBurst() float64 {
+	if c.PBadGood == 0 {
+		return 0
+	}
+	return 1 / c.PBadGood
+}
+
+// GilbertElliott is a running instance of the two-state loss chain.
+type GilbertElliott struct {
+	cfg GEConfig
+	rng *simcore.RNG
+	bad bool
+}
+
+// NewGilbertElliott starts the chain in the Good state with its own RNG
+// stream.
+func NewGilbertElliott(cfg GEConfig, rng *simcore.RNG) *GilbertElliott {
+	return &GilbertElliott{cfg: cfg, rng: rng}
+}
+
+// Drop advances the chain one packet and reports whether that packet is
+// dropped.
+func (g *GilbertElliott) Drop() bool {
+	if g.bad {
+		if g.rng.Bernoulli(g.cfg.PBadGood) {
+			g.bad = false
+		}
+	} else {
+		if g.rng.Bernoulli(g.cfg.PGoodBad) {
+			g.bad = true
+		}
+	}
+	if g.bad {
+		return g.rng.Bernoulli(g.cfg.LossBad)
+	}
+	return g.rng.Bernoulli(g.cfg.LossGood)
+}
+
+// Bad reports whether the chain is currently in the Bad state.
+func (g *GilbertElliott) Bad() bool { return g.bad }
+
+// FlapConfig parameterizes a link blackout process: an alternating renewal
+// process of exponentially distributed up and down periods. While down, the
+// link drops every arriving packet (a hard outage, as produced by a flapping
+// radio link or a rerouting event).
+type FlapConfig struct {
+	MeanUp   time.Duration // mean duration of an up period
+	MeanDown time.Duration // mean duration of an outage
+}
+
+// Validate rejects degenerate flap parameters.
+func (c FlapConfig) Validate() error {
+	if c.MeanUp <= 0 || c.MeanDown <= 0 {
+		return fmt.Errorf("faults: flap periods must be positive (up %v, down %v)", c.MeanUp, c.MeanDown)
+	}
+	return nil
+}
+
+// Flap is a running blackout process. State transitions are computed lazily
+// as queries advance virtual time, so the process costs nothing while no
+// packets arrive and stays deterministic: the realized up/down schedule is a
+// pure function of the config and the RNG stream, independent of when (or
+// how often) Down is called.
+type Flap struct {
+	cfg    FlapConfig
+	rng    *simcore.RNG
+	down   bool
+	nextAt time.Duration // virtual time of the next state flip
+}
+
+// NewFlap starts the process in the up state; the first outage begins after
+// an exponential up period.
+func NewFlap(cfg FlapConfig, rng *simcore.RNG) *Flap {
+	f := &Flap{cfg: cfg, rng: rng}
+	f.nextAt = f.sample(cfg.MeanUp)
+	return f
+}
+
+func (f *Flap) sample(mean time.Duration) time.Duration {
+	d := time.Duration(float64(mean) * f.rng.ExpFloat64())
+	if d < time.Nanosecond {
+		d = time.Nanosecond // the renewal process must always advance
+	}
+	return d
+}
+
+// Down reports whether the link is in an outage at virtual time now,
+// advancing the renewal process up to that instant. Queries must use
+// non-decreasing times (the discrete-event engine guarantees this).
+func (f *Flap) Down(now time.Duration) bool {
+	for now >= f.nextAt {
+		f.down = !f.down
+		mean := f.cfg.MeanUp
+		if f.down {
+			mean = f.cfg.MeanDown
+		}
+		f.nextAt += f.sample(mean)
+	}
+	return f.down
+}
+
+// Config bundles every fault process attachable to one link. A nil *Config
+// (or the zero value) injects nothing; each non-zero field enables one
+// process with its own RNG stream, so enabling one fault type never perturbs
+// the realization of another.
+type Config struct {
+	// GE enables Gilbert–Elliott burst loss on packet arrival.
+	GE *GEConfig
+
+	// ReorderProb is the per-packet probability that an arriving packet's
+	// enqueue is deferred by a uniform delay in (0, ReorderMaxDelay],
+	// letting later arrivals overtake it.
+	ReorderProb     float64
+	ReorderMaxDelay time.Duration
+
+	// DupProb is the per-packet probability that an arriving packet is
+	// accompanied by a duplicate copy. The copy occupies buffer space and
+	// serialization time (modeling the capacity a real duplicate wastes) and
+	// is discarded at the receiver side of the link.
+	DupProb float64
+
+	// JitterProb is the per-packet probability of a propagation delay spike
+	// of uniform size in (0, JitterMax], on top of any configured
+	// LinkConfig.JitterStd noise.
+	JitterProb float64
+	JitterMax  time.Duration
+
+	// Flap enables link blackouts: while down, every arrival is dropped.
+	Flap *FlapConfig
+}
+
+// Enabled reports whether any fault process is configured.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.GE != nil || c.ReorderProb > 0 || c.DupProb > 0 || c.JitterProb > 0 || c.Flap != nil
+}
+
+// Validate rejects inconsistent configurations. A nil config is valid.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.GE != nil {
+		if err := c.GE.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.ReorderProb < 0 || c.ReorderProb > 1 {
+		return fmt.Errorf("faults: ReorderProb %v outside [0, 1]", c.ReorderProb)
+	}
+	if c.ReorderProb > 0 && c.ReorderMaxDelay <= 0 {
+		return fmt.Errorf("faults: reordering enabled with no ReorderMaxDelay")
+	}
+	if c.DupProb < 0 || c.DupProb > 1 {
+		return fmt.Errorf("faults: DupProb %v outside [0, 1]", c.DupProb)
+	}
+	if c.JitterProb < 0 || c.JitterProb > 1 {
+		return fmt.Errorf("faults: JitterProb %v outside [0, 1]", c.JitterProb)
+	}
+	if c.JitterProb > 0 && c.JitterMax <= 0 {
+		return fmt.Errorf("faults: jitter spikes enabled with no JitterMax")
+	}
+	if c.Flap != nil {
+		if err := c.Flap.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/simcore"
+)
+
+// TestGilbertElliottMatchesConfiguredStatistics is the fault-model
+// calibration test: the realized loss rate and mean burst length of the
+// chain must match the closed-form values within tolerance, across seeds.
+func TestGilbertElliottMatchesConfiguredStatistics(t *testing.T) {
+	cfg := GEConfig{PGoodBad: 0.01, PBadGood: 0.25, LossGood: 0, LossBad: 1}
+	wantLoss := cfg.MeanLoss()   // 0.01/0.26 ≈ 0.0385
+	wantBurst := cfg.MeanBurst() // 4
+
+	const samples = 200_000
+	for _, seed := range []uint64{1, 7, 42} {
+		g := NewGilbertElliott(cfg, simcore.NewRNG(seed))
+		var drops, bursts, burstLenSum int
+		inBurst := false
+		for i := 0; i < samples; i++ {
+			if g.Drop() {
+				drops++
+				if !inBurst {
+					bursts++
+					inBurst = true
+				}
+				burstLenSum++
+			} else {
+				inBurst = false
+			}
+		}
+		loss := float64(drops) / samples
+		if math.Abs(loss-wantLoss) > 0.1*wantLoss {
+			t.Errorf("seed %d: realized loss %.4f, configured %.4f", seed, loss, wantLoss)
+		}
+		burst := float64(burstLenSum) / float64(bursts)
+		if math.Abs(burst-wantBurst) > 0.1*wantBurst {
+			t.Errorf("seed %d: mean burst %.2f, configured %.2f", seed, burst, wantBurst)
+		}
+	}
+}
+
+func TestGilbertElliottDeterministic(t *testing.T) {
+	cfg := GEConfig{PGoodBad: 0.05, PBadGood: 0.3, LossBad: 1}
+	a := NewGilbertElliott(cfg, simcore.NewRNG(9))
+	b := NewGilbertElliott(cfg, simcore.NewRNG(9))
+	for i := 0; i < 10_000; i++ {
+		if a.Drop() != b.Drop() {
+			t.Fatalf("drop sequences diverged at packet %d", i)
+		}
+	}
+}
+
+// TestFlapDutyCycle checks that the fraction of time spent down matches
+// MeanDown/(MeanUp+MeanDown) and that lazy advancement is query-invariant:
+// sampling the process sparsely or densely must see the same schedule.
+func TestFlapDutyCycle(t *testing.T) {
+	cfg := FlapConfig{MeanUp: 800 * time.Millisecond, MeanDown: 200 * time.Millisecond}
+	want := 0.2
+	const horizon = 400 * time.Second
+	const step = time.Millisecond
+	var downTicks, ticks int
+	f := NewFlap(cfg, simcore.NewRNG(3))
+	for now := time.Duration(0); now < horizon; now += step {
+		ticks++
+		if f.Down(now) {
+			downTicks++
+		}
+	}
+	got := float64(downTicks) / float64(ticks)
+	if math.Abs(got-want) > 0.25*want {
+		t.Errorf("down fraction %.3f, want ≈ %.3f", got, want)
+	}
+}
+
+func TestFlapQueryInvariant(t *testing.T) {
+	cfg := FlapConfig{MeanUp: 100 * time.Millisecond, MeanDown: 30 * time.Millisecond}
+	dense := NewFlap(cfg, simcore.NewRNG(5))
+	sparse := NewFlap(cfg, simcore.NewRNG(5))
+	// Dense queries every 1 ms; sparse only every 17 ms. At the shared query
+	// instants both must agree: the schedule is a function of the RNG stream,
+	// not the query pattern.
+	for now := time.Duration(0); now < 10*time.Second; now += time.Millisecond {
+		d := dense.Down(now)
+		if now%(17*time.Millisecond) == 0 {
+			if s := sparse.Down(now); s != d {
+				t.Fatalf("at %v dense says %v, sparse says %v", now, d, s)
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  *Config
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &Config{}, true},
+		{"ge", &Config{GE: &GEConfig{PGoodBad: 0.01, PBadGood: 0.2, LossBad: 1}}, true},
+		{"ge-absorbing", &Config{GE: &GEConfig{PGoodBad: 0.01, PBadGood: 0, LossBad: 1}}, false},
+		{"ge-range", &Config{GE: &GEConfig{PGoodBad: 1.5, PBadGood: 0.2, LossBad: 1}}, false},
+		{"reorder", &Config{ReorderProb: 0.02, ReorderMaxDelay: 10 * time.Millisecond}, true},
+		{"reorder-no-delay", &Config{ReorderProb: 0.02}, false},
+		{"dup-range", &Config{DupProb: -0.1}, false},
+		{"jitter-no-max", &Config{JitterProb: 0.1}, false},
+		{"flap", &Config{Flap: &FlapConfig{MeanUp: time.Second, MeanDown: 100 * time.Millisecond}}, true},
+		{"flap-degenerate", &Config{Flap: &FlapConfig{MeanUp: time.Second}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	if (&Config{}).Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	if !(&Config{DupProb: 0.1}).Enabled() {
+		t.Error("dup config not Enabled")
+	}
+}

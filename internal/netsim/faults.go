@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/simcore"
+)
+
+// FaultKind labels one class of injected-fault event (see Tap.FaultInjected).
+type FaultKind int
+
+const (
+	// FaultBurstLoss is a Gilbert–Elliott drop on arrival.
+	FaultBurstLoss FaultKind = iota
+	// FaultBlackout is a drop because the link was in a flap outage.
+	FaultBlackout
+	// FaultReorder is a deferred enqueue (the packet re-arrives later).
+	FaultReorder
+	// FaultDuplicate is a duplicate copy joining the queue alongside the
+	// original.
+	FaultDuplicate
+	// FaultJitter is a propagation delay spike.
+	FaultJitter
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBurstLoss:
+		return "burst-loss"
+	case FaultBlackout:
+		return "blackout"
+	case FaultReorder:
+		return "reorder"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultJitter:
+		return "jitter"
+	}
+	return "unknown"
+}
+
+// FaultStats counts what a link's fault injector has done over the run.
+type FaultStats struct {
+	BurstDrops    int64 // Gilbert–Elliott drops
+	BlackoutDrops int64 // drops while the link was flapped down
+	Reordered     int64 // packets whose enqueue was deferred
+	Duplicated    int64 // duplicate copies created
+	JitterSpikes  int64 // propagation delay spikes
+}
+
+// Drops returns the total packets dropped by fault processes (as opposed to
+// the link's own random-loss and DropTail drops).
+func (s FaultStats) Drops() int64 { return s.BurstDrops + s.BlackoutDrops }
+
+// linkFaults applies a faults.Config to one link. Each process owns an RNG
+// stream derived once from the link's stream, so (a) a link without faults
+// consumes exactly the same RNG state as before this subsystem existed —
+// golden digests of fault-free scenarios are unchanged — and (b) toggling
+// one fault type never shifts the realization of another.
+type linkFaults struct {
+	link *Link
+	cfg  faults.Config
+
+	ge   *faults.GilbertElliott
+	flap *faults.Flap
+
+	reorderRNG *simcore.RNG
+	dupRNG     *simcore.RNG
+	jitterRNG  *simcore.RNG
+
+	// reArriveFn is the long-lived delayed-re-enqueue callback for reordered
+	// packets (see simcore.Engine.ScheduleArg).
+	reArriveFn func(any)
+
+	stats FaultStats
+}
+
+func newLinkFaults(l *Link) *linkFaults {
+	lf := &linkFaults{link: l, cfg: *l.cfg.Faults}
+	// One draw from the link RNG, then unconditional child splits: every
+	// process stream is fixed by the link seed alone, regardless of which
+	// fault types the config enables.
+	frng := l.rng.Split(0xfa17)
+	geRNG := frng.Split(1)
+	flapRNG := frng.Split(2)
+	lf.reorderRNG = frng.Split(3)
+	lf.dupRNG = frng.Split(4)
+	lf.jitterRNG = frng.Split(5)
+	if lf.cfg.GE != nil {
+		lf.ge = faults.NewGilbertElliott(*lf.cfg.GE, geRNG)
+	}
+	if lf.cfg.Flap != nil {
+		lf.flap = faults.NewFlap(*lf.cfg.Flap, flapRNG)
+	}
+	lf.reArriveFn = func(a any) { l.enqueue(a.(*packet)) }
+	return lf
+}
+
+// admit runs the arrival-side fault pipeline on a packet and reports whether
+// the caller should continue into normal queueing. A false return means the
+// packet was consumed here: dropped (blackout/burst loss, with the sender's
+// loss detection engaged) or deferred (reordering).
+func (lf *linkFaults) admit(p *packet) bool {
+	l := lf.link
+	if lf.flap != nil && lf.flap.Down(l.net.eng.Now()) {
+		lf.stats.BlackoutDrops++
+		if tap := l.net.tap; tap != nil {
+			tap.FaultInjected(l, p.flow, FaultBlackout, p.size)
+		}
+		p.flow.onDrop(p)
+		return false
+	}
+	if lf.ge != nil && lf.ge.Drop() {
+		lf.stats.BurstDrops++
+		if tap := l.net.tap; tap != nil {
+			tap.FaultInjected(l, p.flow, FaultBurstLoss, p.size)
+		}
+		p.flow.onDrop(p)
+		return false
+	}
+	if lf.cfg.DupProb > 0 && lf.dupRNG.Bernoulli(lf.cfg.DupProb) {
+		lf.stats.Duplicated++
+		if tap := l.net.tap; tap != nil {
+			tap.FaultInjected(l, p.flow, FaultDuplicate, p.size)
+		}
+		// The copy joins the queue immediately (bypassing the fault
+		// pipeline) and is discarded at the far side of this link; its cost
+		// is the buffer space and serialization time it burns.
+		l.enqueue(p.flow.clonePacket(p))
+	}
+	if lf.cfg.ReorderProb > 0 && lf.reorderRNG.Bernoulli(lf.cfg.ReorderProb) {
+		lf.stats.Reordered++
+		if tap := l.net.tap; tap != nil {
+			tap.FaultInjected(l, p.flow, FaultReorder, p.size)
+		}
+		d := time.Duration(lf.reorderRNG.Float64() * float64(lf.cfg.ReorderMaxDelay))
+		if d < time.Nanosecond {
+			d = time.Nanosecond
+		}
+		l.net.eng.ScheduleArgAfter(d, lf.reArriveFn, p)
+		return false
+	}
+	return true
+}
+
+// delaySpike returns an extra propagation delay for a departing packet
+// (zero for most packets; a uniform spike in (0, JitterMax] with
+// probability JitterProb).
+func (lf *linkFaults) delaySpike(p *packet) time.Duration {
+	if lf.cfg.JitterProb == 0 || !lf.jitterRNG.Bernoulli(lf.cfg.JitterProb) {
+		return 0
+	}
+	lf.stats.JitterSpikes++
+	l := lf.link
+	if tap := l.net.tap; tap != nil {
+		tap.FaultInjected(l, p.flow, FaultJitter, p.size)
+	}
+	d := time.Duration(lf.jitterRNG.Float64() * float64(lf.cfg.JitterMax))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// FaultStats returns the link's fault-injection counters (zero value if the
+// link has no fault config).
+func (l *Link) FaultStats() FaultStats {
+	if l.faults == nil {
+		return FaultStats{}
+	}
+	return l.faults.stats
+}

@@ -38,6 +38,10 @@ type packet struct {
 	sentAt  time.Duration
 	hop     int
 	ctrlIdx int64 // send-interval index for interval-driven schemes
+	// dup marks a fault-injected duplicate copy: it occupies queue space and
+	// serialization time on one link but is invisible to the sender's
+	// accounting (never counted sent/acked/lost, discarded after departure).
+	dup bool
 }
 
 // SeriesPoint is one sample of a flow's recorded time series.
@@ -303,7 +307,19 @@ func (f *Flow) allocPacket(now time.Duration) *packet {
 	p.sentAt = now
 	p.hop = -1
 	p.ctrlIdx = 0
+	p.dup = false
 	return p
+}
+
+// clonePacket takes a free-list packet shaped like p, marked as a
+// fault-injected duplicate (see the dup field).
+func (f *Flow) clonePacket(p *packet) *packet {
+	d := f.allocPacket(p.sentAt)
+	d.size = p.size
+	d.hop = p.hop
+	d.ctrlIdx = p.ctrlIdx
+	d.dup = true
+	return d
 }
 
 // releasePacket recycles a terminated packet (ACKed or loss-detected).

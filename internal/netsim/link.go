@@ -3,6 +3,7 @@ package netsim
 import (
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/simcore"
 	"repro/internal/traces"
 )
@@ -25,6 +26,10 @@ type LinkConfig struct {
 	// noise and packet reordering, the empirical-signal noise §3.4's
 	// filtering is designed to absorb.
 	JitterStd time.Duration
+	// Faults attaches deterministic fault processes (burst loss, reordering,
+	// duplication, jitter spikes, blackouts) to the link; nil injects
+	// nothing. See internal/faults and Link.FaultStats.
+	Faults *faults.Config
 }
 
 // LinkStats aggregates what a link has carried.
@@ -51,12 +56,21 @@ type Link struct {
 	// via ScheduleArg avoids allocating a closure per transmitted packet.
 	finishFn func(any)
 
+	// faults, when non-nil, applies the configured fault processes (see
+	// faults.go). Built only when the config enables at least one process,
+	// so fault-free links consume no extra RNG state and stay bit-identical
+	// to their pre-fault-subsystem behavior.
+	faults *linkFaults
+
 	stats LinkStats
 }
 
 func newLink(n *Network, cfg LinkConfig, rng *simcore.RNG) *Link {
 	l := &Link{net: n, cfg: cfg, rng: rng}
 	l.finishFn = func(a any) { l.finishTx(a.(*packet)) }
+	if cfg.Faults.Enabled() {
+		l.faults = newLinkFaults(l)
+	}
 	return l
 }
 
@@ -96,14 +110,25 @@ func (l *Link) Utilization(elapsed time.Duration) float64 {
 }
 
 // arrive is called when a packet reaches this link (after the previous
-// hop's propagation). It applies random loss, then DropTail queueing.
+// hop's propagation). It runs the fault pipeline (if configured), then
+// random loss and DropTail queueing.
 func (l *Link) arrive(p *packet) {
+	if l.faults != nil && !l.faults.admit(p) {
+		return // dropped by a fault process, or deferred for reordering
+	}
+	l.enqueue(p)
+}
+
+// enqueue applies random loss and DropTail queueing. It is the re-entry
+// point for reordered packets (whose deferred arrival must not run the
+// fault pipeline twice) and for duplicate copies.
+func (l *Link) enqueue(p *packet) {
 	if l.cfg.LossRate > 0 && l.rng.Bernoulli(l.cfg.LossRate) {
 		l.stats.RandomDrops++
 		if tap := l.net.tap; tap != nil {
 			tap.QueueDropped(l, p.size, true)
 		}
-		p.flow.onDrop(p)
+		l.dropped(p)
 		return
 	}
 	if l.qBytes+int64(p.size) > int64(l.cfg.BufferBytes) {
@@ -111,7 +136,7 @@ func (l *Link) arrive(p *packet) {
 		if tap := l.net.tap; tap != nil {
 			tap.QueueDropped(l, p.size, false)
 		}
-		p.flow.onDrop(p)
+		l.dropped(p)
 		return
 	}
 	l.queue = append(l.queue, p)
@@ -125,6 +150,17 @@ func (l *Link) arrive(p *packet) {
 	if !l.busy {
 		l.startTx()
 	}
+}
+
+// dropped routes a discarded packet to its terminal accounting: real
+// packets feed the sender's loss detection; duplicate copies were never
+// counted as sent, so they are recycled directly.
+func (l *Link) dropped(p *packet) {
+	if p.dup {
+		p.flow.releasePacket(p)
+		return
+	}
+	p.flow.onDrop(p)
 }
 
 // startTx begins serializing the packet at the head of the queue.
@@ -158,15 +194,25 @@ func (l *Link) finishTx(p *packet) {
 		tap.QueueDeparted(l, p.size)
 	}
 
-	prop := l.cfg.Delay
-	if l.cfg.JitterStd > 0 {
-		j := l.rng.Norm(0, float64(l.cfg.JitterStd))
-		if j < 0 {
-			j = -j
+	if p.dup {
+		// The receiver side of the link discards duplicate copies; the
+		// copy's whole cost — buffer space and serialization time — has been
+		// paid by now.
+		p.flow.releasePacket(p)
+	} else {
+		prop := l.cfg.Delay
+		if l.cfg.JitterStd > 0 {
+			j := l.rng.Norm(0, float64(l.cfg.JitterStd))
+			if j < 0 {
+				j = -j
+			}
+			prop += time.Duration(j)
 		}
-		prop += time.Duration(j)
+		if l.faults != nil {
+			prop += l.faults.delaySpike(p)
+		}
+		l.net.eng.ScheduleArgAfter(prop, p.flow.advanceFn, p)
 	}
-	l.net.eng.ScheduleArgAfter(prop, p.flow.advanceFn, p)
 
 	if l.qHead < len(l.queue) {
 		l.startTx()

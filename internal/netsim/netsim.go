@@ -49,6 +49,13 @@ type Tap interface {
 	// IntervalDelivered fires when send-attributed interval statistics are
 	// handed to an interval-driven controller.
 	IntervalDelivered(f *Flow, s cc.IntervalStats)
+	// FaultInjected fires when a link's fault injector acts on a packet of
+	// flow f: for FaultBurstLoss and FaultBlackout the packet was dropped
+	// before queueing (the sender's loss detection is engaged), for
+	// FaultReorder its enqueue was deferred, for FaultDuplicate a copy
+	// joined the queue, and for FaultJitter its propagation gained a delay
+	// spike.
+	FaultInjected(l *Link, f *Flow, kind FaultKind, bytes int)
 }
 
 // Config parameterizes a Network.
@@ -149,6 +156,9 @@ func (n *Network) Validate() error {
 		}
 		if l.cfg.BufferBytes <= 0 {
 			return fmt.Errorf("netsim: link %d has no buffer", i)
+		}
+		if err := l.cfg.Faults.Validate(); err != nil {
+			return fmt.Errorf("netsim: link %d: %w", i, err)
 		}
 	}
 	return nil

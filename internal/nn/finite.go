@@ -1,0 +1,34 @@
+package nn
+
+import "math"
+
+// AllFinite reports whether every accumulated gradient is finite. Training
+// loops use it to discard poisoned updates (a single NaN reward or exploding
+// backward pass would otherwise irreversibly corrupt the weights).
+func (g *Grads) AllFinite() bool {
+	for i := range g.W {
+		if !allFinite(g.W[i]) || !allFinite(g.B[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every weight and bias of the network is finite.
+func (m *MLP) AllFinite() bool {
+	for _, l := range m.Layers {
+		if !allFinite(l.W) || !allFinite(l.B) {
+			return false
+		}
+	}
+	return true
+}
+
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

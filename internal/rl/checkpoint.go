@@ -1,0 +1,145 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/nn"
+)
+
+// Checkpoint is the on-disk snapshot of a training run: the six TD3 networks
+// plus the loop state needed to continue where the process died. Optimizer
+// moments and the replay buffer are deliberately not persisted — they are
+// cheap to rebuild (Adam re-warms within a few updates, the buffer refills
+// from the next collection rounds) and would dominate the file size.
+type Checkpoint struct {
+	Epoch          int       `json:"epoch"` // next epoch to run
+	Noise          float64   `json:"noise"`
+	EpochRewards   []float64 `json:"epoch_rewards"`
+	Updates        int       `json:"updates"`
+	SkippedUpdates int64     `json:"skipped_updates"`
+
+	Actor       *nn.MLP `json:"actor"`
+	ActorTarget *nn.MLP `json:"actor_target"`
+	Critic1     *nn.MLP `json:"critic1"`
+	Critic2     *nn.MLP `json:"critic2"`
+	C1Target    *nn.MLP `json:"c1_target"`
+	C2Target    *nn.MLP `json:"c2_target"`
+}
+
+// snapshot captures the agent's networks and update counters. The MLP
+// pointers alias live weights; SaveCheckpoint serializes immediately, before
+// the next Update can mutate them.
+func (t *TD3) snapshot() *Checkpoint {
+	return &Checkpoint{
+		Updates:        t.updates,
+		SkippedUpdates: t.skippedUpdates,
+		Actor:          t.Actor,
+		ActorTarget:    t.actorTarget,
+		Critic1:        t.critic1,
+		Critic2:        t.critic2,
+		C1Target:       t.c1Target,
+		C2Target:       t.c2Target,
+	}
+}
+
+// Restore copies a checkpoint's weights and counters into the agent. The
+// checkpoint's network shapes must match the agent's (the agent keeps its
+// own optimizer state, scratch buffers, and RNG, all of which are sized at
+// construction).
+func (t *TD3) Restore(ck *Checkpoint) error {
+	pairs := []struct {
+		name string
+		dst  *nn.MLP
+		src  *nn.MLP
+	}{
+		{"actor", t.Actor, ck.Actor},
+		{"actor target", t.actorTarget, ck.ActorTarget},
+		{"critic1", t.critic1, ck.Critic1},
+		{"critic2", t.critic2, ck.Critic2},
+		{"critic1 target", t.c1Target, ck.C1Target},
+		{"critic2 target", t.c2Target, ck.C2Target},
+	}
+	for _, p := range pairs {
+		if err := checkShape(p.name, p.dst, p.src); err != nil {
+			return err
+		}
+		if !p.src.AllFinite() {
+			return fmt.Errorf("rl: checkpoint %s has non-finite weights", p.name)
+		}
+	}
+	for _, p := range pairs {
+		nn.SoftUpdate(p.dst, p.src, 1) // tau=1: exact copy
+	}
+	t.updates = ck.Updates
+	t.skippedUpdates = ck.SkippedUpdates
+	return nil
+}
+
+func checkShape(name string, dst, src *nn.MLP) error {
+	if src == nil {
+		return fmt.Errorf("rl: checkpoint is missing the %s network", name)
+	}
+	if len(src.Layers) != len(dst.Layers) {
+		return fmt.Errorf("rl: checkpoint %s has %d layers, agent has %d",
+			name, len(src.Layers), len(dst.Layers))
+	}
+	for i := range src.Layers {
+		if src.Layers[i].In != dst.Layers[i].In || src.Layers[i].Out != dst.Layers[i].Out {
+			return fmt.Errorf("rl: checkpoint %s layer %d is %dx%d, agent wants %dx%d",
+				name, i, src.Layers[i].In, src.Layers[i].Out,
+				dst.Layers[i].In, dst.Layers[i].Out)
+		}
+	}
+	return nil
+}
+
+// SaveCheckpoint writes ck to path atomically: the JSON is written to a
+// temporary file in the same directory, fsynced, and renamed over the
+// target. A crash at any point leaves either the previous checkpoint or the
+// new one, never a truncated file.
+func SaveCheckpoint(path string, ck *Checkpoint) (err error) {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("rl: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("rl: checkpoint temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
+		return fmt.Errorf("rl: write checkpoint: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("rl: sync checkpoint: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("rl: close checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("rl: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("rl: corrupt checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}

@@ -84,9 +84,16 @@ type TD3 struct {
 	saBuf         []float64
 	dOutBuf       []float64
 
-	updates int
-	batch   []Transition
+	updates        int
+	skippedUpdates int64
+	batch          []Transition
 }
+
+// SkippedUpdates counts optimizer steps discarded because the batch produced
+// non-finite gradients (e.g. a NaN reward that slipped into the replay
+// buffer). Skipping keeps one poisoned transition from destroying the
+// weights; the soft target updates still run, so training continues.
+func (t *TD3) SkippedUpdates() int64 { return t.skippedUpdates }
 
 // NewTD3 builds an agent. The actor ends in tanh (actions in [-1,1]^d); the
 // critics map (state ++ action) to a scalar value.
@@ -257,8 +264,13 @@ func (t *TD3) Update(buf *ReplayBuffer) float64 {
 	t.c2Grads.Scale(inv)
 	t.c1Grads.ClipNorm(t.cfg.GradClip)
 	t.c2Grads.ClipNorm(t.cfg.GradClip)
-	t.c1Opt.Step(t.critic1, t.c1Grads)
-	t.c2Opt.Step(t.critic2, t.c2Grads)
+	if t.c1Grads.AllFinite() && t.c2Grads.AllFinite() {
+		t.c1Opt.Step(t.critic1, t.c1Grads)
+		t.c2Opt.Step(t.critic2, t.c2Grads)
+	} else {
+		t.skippedUpdates++
+		tdErr = 0 // the TD error of a poisoned batch is meaningless
+	}
 
 	t.updates++
 	if t.updates%t.cfg.PolicyDelay == 0 { // delayed policy update (TD3 trick #2)
@@ -280,7 +292,11 @@ func (t *TD3) Update(buf *ReplayBuffer) float64 {
 		}
 		t.actorGrads.Scale(inv)
 		t.actorGrads.ClipNorm(t.cfg.GradClip)
-		t.actorOpt.Step(t.Actor, t.actorGrads)
+		if t.actorGrads.AllFinite() {
+			t.actorOpt.Step(t.Actor, t.actorGrads)
+		} else {
+			t.skippedUpdates++
+		}
 
 		nn.SoftUpdate(t.actorTarget, t.Actor, t.cfg.Tau)
 		nn.SoftUpdate(t.c1Target, t.critic1, t.cfg.Tau)

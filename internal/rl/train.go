@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/nn"
@@ -30,6 +31,16 @@ type TrainConfig struct {
 	// Progress, if non-nil, is called after each epoch with the mean
 	// per-step reward of the epoch's fresh experience and the mean TD error.
 	Progress func(epoch int, meanReward, tdErr float64)
+
+	// CheckpointPath, if non-empty, makes Train write an atomic checkpoint
+	// (temp file + rename) every CheckpointEvery epochs, so a killed run
+	// loses at most CheckpointEvery epochs of work.
+	CheckpointPath  string
+	CheckpointEvery int // default 1
+	// Resume loads CheckpointPath (if it exists) before training and
+	// continues from the recorded epoch. The replay buffer and optimizer
+	// moments are rebuilt, not restored; see Checkpoint.
+	Resume bool
 }
 
 // TrainResult summarizes a training run.
@@ -61,6 +72,29 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 	if cfg.NoiseDecay == 0 {
 		cfg.NoiseDecay = 0.995
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+
+	startEpoch := 0
+	noise := cfg.NoiseStd
+	res := &TrainResult{}
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		ck, err := LoadCheckpoint(cfg.CheckpointPath)
+		switch {
+		case err == nil:
+			if err := cfg.Agent.Restore(ck); err != nil {
+				return nil, err
+			}
+			startEpoch = ck.Epoch
+			noise = ck.Noise
+			res.EpochRewards = append(res.EpochRewards, ck.EpochRewards...)
+		case os.IsNotExist(err):
+			// First run: nothing to resume from.
+		default:
+			return nil, fmt.Errorf("rl: resume: %w", err)
+		}
+	}
 
 	buf := NewReplayBuffer(cfg.BufferSize)
 	envs := make([]Env, cfg.Actors)
@@ -71,9 +105,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 	}
 	actionDim := cfg.Agent.cfg.ActionDim
 
-	res := &TrainResult{}
-	noise := cfg.NoiseStd
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		// Snapshot the policy so collectors can run concurrently with no
 		// locking; each collector gets its own RNG stream.
 		policy := cfg.Agent.Actor.Clone()
@@ -126,6 +158,16 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 			cfg.Progress(epoch, meanReward, tdErr)
 		}
 		noise *= cfg.NoiseDecay
+
+		if cfg.CheckpointPath != "" && ((epoch+1)%cfg.CheckpointEvery == 0 || epoch+1 == cfg.Epochs) {
+			ck := cfg.Agent.snapshot()
+			ck.Epoch = epoch + 1
+			ck.Noise = noise
+			ck.EpochRewards = res.EpochRewards
+			if err := SaveCheckpoint(cfg.CheckpointPath, ck); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return res, nil
 }

@@ -48,7 +48,7 @@ const maxRecorded = 64
 // Violation describes one invariant breach.
 type Violation struct {
 	Time   time.Duration // virtual time of the breach
-	Rule   string        // "conservation", "queue", "rtt-floor", "clock", "control", "interval", "capacity"
+	Rule   string        // "conservation", "queue", "rtt-floor", "clock", "control", "interval", "capacity", "faults"
 	Detail string
 }
 
@@ -74,6 +74,19 @@ type linkAcct struct {
 	depBytes  int64
 	dropBytes int64
 	maxPkt    int64 // largest packet seen (capacity-check slack)
+
+	// Independent fault-injection counts, cross-checked against
+	// Link.FaultStats at Finish.
+	burstDrops    int64
+	blackoutDrops int64
+	reordered     int64
+	duplicated    int64
+	jitterSpikes  int64
+}
+
+func (a *linkAcct) hasFaults() bool {
+	return a.burstDrops != 0 || a.blackoutDrops != 0 || a.reordered != 0 ||
+		a.duplicated != 0 || a.jitterSpikes != 0
 }
 
 // Checker verifies runtime invariants of one Network. Attach it before Run;
@@ -235,6 +248,36 @@ func (c *Checker) QueueDropped(l *netsim.Link, bytes int, random bool) {
 	a.dropBytes += int64(bytes)
 }
 
+// FaultInjected implements netsim.Tap: an independent count per fault kind,
+// cross-checked against the link's own FaultStats at Finish. Fault drops
+// engage the sender's normal loss detection, so the per-flow conservation
+// ledger needs no special case; duplicates never appear in flow accounting
+// at all (only in the link's queue ledger, which sees their enqueue and
+// departure like any other packet).
+func (c *Checker) FaultInjected(l *netsim.Link, f *netsim.Flow, kind netsim.FaultKind, bytes int) {
+	a := c.link(l)
+	switch kind {
+	case netsim.FaultBurstLoss:
+		a.burstDrops++
+	case netsim.FaultBlackout:
+		a.blackoutDrops++
+	case netsim.FaultReorder:
+		a.reordered++
+	case netsim.FaultDuplicate:
+		a.duplicated++
+	case netsim.FaultJitter:
+		a.jitterSpikes++
+	default:
+		c.violate("faults", "unknown fault kind %d on flow %s", kind, f.Name())
+	}
+	if bytes <= 0 {
+		c.violate("faults", "%v fault on flow %s with %d bytes", kind, f.Name(), bytes)
+	}
+	if l.Config().Faults == nil {
+		c.violate("faults", "%v fault on a link with no fault config", kind)
+	}
+}
+
 // IntervalDelivered implements netsim.Tap: every delivered interval must
 // close its own books.
 func (c *Checker) IntervalDelivered(f *netsim.Flow, s cc.IntervalStats) {
@@ -292,6 +335,14 @@ func (c *Checker) Finish() []Violation {
 		}
 		if got := a.enqBytes - a.depBytes; got != l.QueueBytes() {
 			c.violate("queue", "link final queue %d B but enqueued-departed = %d B", l.QueueBytes(), got)
+		}
+		if fs := l.FaultStats(); fs != (netsim.FaultStats{}) || a.hasFaults() {
+			if fs.BurstDrops != a.burstDrops || fs.BlackoutDrops != a.blackoutDrops ||
+				fs.Reordered != a.reordered || fs.Duplicated != a.duplicated ||
+				fs.JitterSpikes != a.jitterSpikes {
+				c.violate("faults", "link fault stats %+v but ledger counted burst %d blackout %d reorder %d dup %d jitter %d",
+					fs, a.burstDrops, a.blackoutDrops, a.reordered, a.duplicated, a.jitterSpikes)
+			}
 		}
 		cfg := l.Config()
 		if cfg.Trace == nil && cfg.Rate > 0 && now > 0 {

@@ -29,6 +29,9 @@ go test -short ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
 
+echo "== fault-matrix smoke under the race detector"
+go test -race -short -run '^TestFaultMatrix' ./internal/simcheck
+
 echo "== fuzz smoke (10s each)"
 go test -run='^$' -fuzz='^FuzzMahimahiParse$' -fuzztime=10s ./internal/traces
 go test -run='^$' -fuzz='^FuzzAgentRPCDecode$' -fuzztime=10s ./internal/agentrpc
