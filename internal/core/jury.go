@@ -30,7 +30,10 @@ type Jury struct {
 	haveLossMin bool
 	lastGrowAt  time.Duration
 
-	// Introspection for training, experiments, and tests.
+	// Introspection for training, experiments, and tests. lastState is a
+	// buffer reused across intervals: it always holds the *most recent*
+	// policy input, and holders of an older return value from LastState
+	// observe the refreshed contents, not a snapshot.
 	lastSignals Signals
 	lastState   []float64
 	lastMu      float64
@@ -177,7 +180,7 @@ func (j *Jury) OnInterval(s cc.IntervalStats) {
 // non-finite or out-of-range policy output never reaches Eq. 7. Both cases
 // degrade to the AIMD fallback and bump DegradedDecisions.
 func (j *Jury) decide(s cc.IntervalStats) {
-	state := j.transformer.State()
+	state := j.transformer.StateInto(j.lastState)
 	j.lastState = state
 	if !finiteFloats(state) || !isFinite(j.lastOcc) {
 		j.degradedDecisions++
@@ -320,7 +323,8 @@ func (j *Jury) PacingRate() float64 { return j.pacing }
 
 // Introspection accessors (used by training, experiments, and tests).
 
-// LastState returns the most recent policy input (nil before ready).
+// LastState returns the most recent policy input (nil before ready). The
+// slice is reused across intervals; copy it to keep a snapshot.
 func (j *Jury) LastState() []float64 { return j.lastState }
 
 // LastRange returns the most recent decision range (μ, δ).

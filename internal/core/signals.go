@@ -113,9 +113,19 @@ func (t *Transformer) push(sig Signals) {
 
 // State returns the stacked policy input (a copy), oldest interval first.
 func (t *Transformer) State() []float64 {
-	out := make([]float64, len(t.history))
-	copy(out, t.history)
-	return out
+	return t.StateInto(nil)
+}
+
+// StateInto copies the stacked policy input into dst (grown if too small)
+// and returns it. Hot paths call it with a reused buffer so one decision per
+// control interval does not cost one allocation per control interval.
+func (t *Transformer) StateInto(dst []float64) []float64 {
+	if cap(dst) < len(t.history) {
+		dst = make([]float64, len(t.history))
+	}
+	dst = dst[:len(t.history)]
+	copy(dst, t.history)
+	return dst
 }
 
 // Ready reports whether the history holds at least one full interval pair.

@@ -13,8 +13,12 @@ type TrainOptions struct {
 	Actors          int
 	StepsPerActor   int
 	UpdatesPerEpoch int
-	Seed            uint64
-	Progress        func(epoch int, meanReward, tdErr float64)
+	// UpdateWorkers shards each TD3 update's minibatch across this many
+	// goroutines (see rl.Config.Workers); the trained weights are
+	// bit-identical for every value, so it is purely a throughput knob.
+	UpdateWorkers int
+	Seed          uint64
+	Progress      func(epoch int, meanReward, tdErr float64)
 }
 
 // DefaultTrainOptions returns a laptop-scale training budget (the paper
@@ -40,6 +44,7 @@ func TrainPolicy(opts TrainOptions) (*rl.TD3, *rl.TrainResult, error) {
 	cfg.Gamma = 0.98    // Table 2
 	cfg.Batch = 64      // Table 2
 	cfg.Seed = opts.Seed
+	cfg.Workers = opts.UpdateWorkers
 	agent := rl.NewTD3(cfg)
 
 	res, err := rl.Train(rl.TrainConfig{

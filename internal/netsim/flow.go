@@ -120,6 +120,7 @@ type Flow struct {
 	intervalFn func(any)
 	recordFn   func(any)
 	pktFree    []*packet
+	pktSlab    []packet // backing block the free-list grows from, 64 at a time
 
 	srtt   time.Duration
 	minRTT time.Duration
@@ -175,6 +176,25 @@ func (f *Flow) BaseRTT() time.Duration { return f.baseRTT }
 
 // Series returns the recorded time series.
 func (f *Flow) Series() []SeriesPoint { return f.series }
+
+// reserveSeries sizes the series backing array to record through the given
+// horizon, so recordTick appends never reallocate mid-run.
+func (f *Flow) reserveSeries(horizon time.Duration) {
+	end := horizon
+	if f.cfg.Duration > 0 && f.cfg.Start+f.cfg.Duration < end {
+		end = f.cfg.Start + f.cfg.Duration
+	}
+	if end <= f.cfg.Start {
+		return
+	}
+	need := int((end-f.cfg.Start)/f.net.cfg.RecordInterval) + 2
+	if cap(f.series)-len(f.series) >= need {
+		return
+	}
+	s := make([]SeriesPoint, len(f.series), len(f.series)+need)
+	copy(s, f.series)
+	f.series = s
+}
 
 // armStart schedules the flow's start (idempotent).
 func (f *Flow) armStart() {
@@ -301,7 +321,14 @@ func (f *Flow) allocPacket(now time.Duration) *packet {
 		f.pktFree[n-1] = nil
 		f.pktFree = f.pktFree[:n-1]
 	} else {
-		p = &packet{flow: f}
+		// Free-list miss: carve from the slab so growing the in-flight
+		// population costs one allocation per 64 packets, not per packet.
+		if len(f.pktSlab) == 0 {
+			f.pktSlab = make([]packet, 64)
+		}
+		p = &f.pktSlab[0]
+		f.pktSlab = f.pktSlab[1:]
+		p.flow = f
 	}
 	p.size = f.pktSize
 	p.sentAt = now

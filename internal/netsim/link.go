@@ -67,6 +67,12 @@ type Link struct {
 
 func newLink(n *Network, cfg LinkConfig, rng *simcore.RNG) *Link {
 	l := &Link{net: n, cfg: cfg, rng: rng}
+	if cfg.BufferBytes > 0 {
+		// Size the queue for a buffer full of minimum-size packets, doubled
+		// because the lazy head compaction in finishTx lets the live window
+		// drift up to halfway through the backing array before sliding back.
+		l.queue = make([]*packet, 0, 2*(cfg.BufferBytes/DefaultPacketSize+1))
+	}
 	l.finishFn = func(a any) { l.finishTx(a.(*packet)) }
 	if cfg.Faults.Enabled() {
 		l.faults = newLinkFaults(l)

@@ -137,6 +137,7 @@ func (n *Network) Links() []*Link { return n.links }
 func (n *Network) Run(horizon time.Duration) {
 	for _, f := range n.flows {
 		f.armStart()
+		f.reserveSeries(horizon)
 	}
 	n.eng.Run(horizon)
 }

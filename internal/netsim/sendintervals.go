@@ -20,10 +20,16 @@ import (
 // response — pairing a rate change with feedback from an earlier interval
 // (as naive wall-clock aggregation would) decorrelates the two signals.
 
-// sendIntervalRing is the fixed-size window of in-flight send intervals.
+// sendIntervalRing is the maximum window of in-flight send intervals.
 // 1024 intervals of 30 ms cover ~30 s of feedback delay, far beyond any
-// emulated RTT; the ring force-delivers if it ever wraps.
-const sendIntervalRing = 1024
+// emulated RTT; the ring force-delivers if it ever wraps at full size. The
+// ring starts small (sendIntervalMin) and doubles on demand: typical flows
+// have a handful of intervals in flight, so the full-size ring (~114 KB per
+// flow) would be almost entirely dead weight.
+const (
+	sendIntervalRing = 1024
+	sendIntervalMin  = 64
+)
 
 // sendInterval aggregates the fate of packets sent during one interval.
 type sendInterval struct {
@@ -58,7 +64,7 @@ type intervalTracker struct {
 
 	idx  int64 // current (open) send interval
 	next int64 // next interval to deliver
-	ring [sendIntervalRing]sendInterval
+	ring []sendInterval
 }
 
 func newIntervalTracker(ia cc.IntervalAlgorithm) *intervalTracker {
@@ -66,13 +72,29 @@ func newIntervalTracker(ia cc.IntervalAlgorithm) *intervalTracker {
 	if iv <= 0 {
 		iv = 30 * time.Millisecond
 	}
-	t := &intervalTracker{ia: ia, interval: iv}
+	t := &intervalTracker{ia: ia, interval: iv, ring: make([]sendInterval, sendIntervalMin)}
 	t.ring[0].used = true
 	return t
 }
 
 func (t *intervalTracker) slot(idx int64) *sendInterval {
-	return &t.ring[idx%sendIntervalRing]
+	return &t.ring[idx%int64(len(t.ring))]
+}
+
+// grow doubles the ring (capped at sendIntervalRing) and rehashes the live
+// slots to their positions under the new modulus.
+func (t *intervalTracker) grow() {
+	old := t.ring
+	n := 2 * len(old)
+	if n > sendIntervalRing {
+		n = sendIntervalRing
+	}
+	t.ring = make([]sendInterval, n)
+	for i := range old {
+		if old[i].used {
+			t.ring[old[i].idx%int64(n)] = old[i]
+		}
+	}
 }
 
 // onSend records a packet leaving during the current interval and returns
@@ -123,6 +145,9 @@ func (t *intervalTracker) closeCurrent(f *Flow, now time.Duration) {
 	s.endedAt = now
 	s.enforcedBps = f.alg.PacingRate()
 	t.idx++
+	for t.idx-t.next >= int64(len(t.ring)) && len(t.ring) < sendIntervalRing {
+		t.grow()
+	}
 	if t.idx-t.next >= sendIntervalRing {
 		t.deliver(f, t.next, now) // should not happen; safety valve
 	}

@@ -278,6 +278,22 @@ func clearSlice(v []float64) {
 	}
 }
 
+// Add accumulates o's gradients into g. The deterministic pairwise shard
+// reduction of the batched TD3 update is built on it; o must have been
+// allocated for the same network shape.
+func (g *Grads) Add(o *Grads) {
+	for i := range g.W {
+		gw, ow := g.W[i], o.W[i]
+		for j := range gw {
+			gw[j] += ow[j]
+		}
+		gb, ob := g.B[i], o.B[i]
+		for j := range gb {
+			gb[j] += ob[j]
+		}
+	}
+}
+
 // Scale multiplies all gradients by s (e.g. 1/batchSize).
 func (g *Grads) Scale(s float64) {
 	for i := range g.W {

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/simcore"
@@ -56,10 +57,11 @@ func TestCollectCopiesEnvBuffers(t *testing.T) {
 	}
 }
 
-func BenchmarkTD3Update(b *testing.B) {
+func benchUpdate(b *testing.B, workers int) {
 	cfg := DefaultConfig(15, 1)
 	cfg.Hidden = []int{64, 32}
 	cfg.Seed = 31
+	cfg.Workers = workers
 	agent := NewTD3(cfg)
 	buf := NewReplayBuffer(4096)
 	rng := simcore.NewRNG(32)
@@ -82,5 +84,16 @@ func BenchmarkTD3Update(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agent.Update(buf)
+	}
+}
+
+func BenchmarkTD3Update(b *testing.B) { benchUpdate(b, 0) }
+
+// BenchmarkTD3UpdateWorkers measures the sharded update. The weights are
+// bit-identical to the serial path at every worker count, so this isolates
+// the pure coordination cost/benefit (on a single-CPU box it is all cost).
+func BenchmarkTD3UpdateWorkers(b *testing.B) {
+	for _, w := range []int{2, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) { benchUpdate(b, w) })
 	}
 }

@@ -24,6 +24,7 @@ type ReplayBuffer struct {
 	buf  []Transition
 	next int
 	n    int
+	idx  []int // preallocated sampling scratch, sized on first use
 }
 
 // NewReplayBuffer returns an empty buffer with the given capacity.
@@ -46,6 +47,25 @@ func (r *ReplayBuffer) Add(t Transition) {
 // Len reports the number of stored transitions.
 func (r *ReplayBuffer) Len() int { return r.n }
 
+// SampleIndices draws batch positions uniformly with replacement into the
+// buffer's preallocated index scratch and returns it (valid until the next
+// Sample/SampleIndices call). Steady state allocates nothing; the RNG
+// stream is identical to Sample's.
+func (r *ReplayBuffer) SampleIndices(rng *simcore.RNG, batch int) []int {
+	if cap(r.idx) < batch {
+		r.idx = make([]int, batch)
+	}
+	idx := r.idx[:batch]
+	for i := range idx {
+		idx[i] = int(rng.Intn(r.n))
+	}
+	return idx
+}
+
+// At returns the stored transition at buffer position i (as produced by
+// SampleIndices). The pointer is valid until Add overwrites the slot.
+func (r *ReplayBuffer) At(i int) *Transition { return &r.buf[i] }
+
 // Sample draws batch transitions uniformly with replacement into dst
 // (allocating if dst is short) and returns it.
 func (r *ReplayBuffer) Sample(rng *simcore.RNG, batch int, dst []Transition) []Transition {
@@ -56,8 +76,8 @@ func (r *ReplayBuffer) Sample(rng *simcore.RNG, batch int, dst []Transition) []T
 		dst = make([]Transition, batch)
 	}
 	dst = dst[:batch]
-	for i := range dst {
-		dst[i] = r.buf[rng.Intn(r.n)]
+	for i, j := range r.SampleIndices(rng, batch) {
+		dst[i] = r.buf[j]
 	}
 	return dst
 }

@@ -3,6 +3,8 @@ package rl
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/nn"
 	"repro/internal/simcore"
@@ -29,6 +31,13 @@ type Config struct {
 
 	GradClip float64
 	Seed     uint64
+
+	// Workers shards Update's batch across this many goroutines. The batch
+	// is always split into fixed shardRows-row shards whose gradients are
+	// folded in a fixed pairwise order, so the updated weights are
+	// bit-identical for every worker count; 0/1 runs the shards serially on
+	// the calling goroutine (and allocates nothing).
+	Workers int
 }
 
 // DefaultConfig returns the paper's hyperparameters (Table 2) for the given
@@ -51,8 +60,31 @@ func DefaultConfig(stateDim, actionDim int) Config {
 	}
 }
 
+// shardRows is the fixed shard height of the batched update. It is part of
+// the determinism contract: shard boundaries depend only on the batch size,
+// never on Config.Workers, so the per-shard gradient sums (and their fixed
+// pairwise reduction) are identical no matter how many goroutines run them.
+const shardRows = 16
+
+// updateShard holds one shard's private buffers: a contiguous row range of
+// the batch plus the traces, scratches, and gradient accumulators its
+// backward passes write. Shards share no mutable state, so any assignment
+// of shards to workers is race-free and order-independent.
+type updateShard struct {
+	r0, r1 int
+
+	c1Tr, c2Tr, actorTr *nn.BatchTrace // row-range views of the full-batch traces
+
+	c1G, c2G, actorG *nn.Grads
+
+	criticS, actorS *nn.BatchScratch
+	dAct            []float64 // rows×A: dQ/dAction gathered from the critic's input grads
+}
+
 // TD3 is a deterministic-policy actor-critic agent with clipped double
-// Q-learning, delayed policy updates, and target policy smoothing.
+// Q-learning, delayed policy updates, and target policy smoothing. Update
+// processes the whole minibatch as matrix products over the batched nn
+// kernels (see internal/nn/gemm.go and DESIGN.md).
 type TD3 struct {
 	cfg Config
 	rng *simcore.RNG
@@ -68,25 +100,31 @@ type TD3 struct {
 	c1Opt    *nn.Adam
 	c2Opt    *nn.Adam
 
-	actorGrads *nn.Grads
-	c1Grads    *nn.Grads
-	c2Grads    *nn.Grads
+	// Batched-update state, preallocated so a training step allocates
+	// nothing in steady state. Matrices are flat row-major; W = S+A is the
+	// critic input width.
+	nextStates []float64 // B×S gather of the batch's next states
+	states     []float64 // B×S gather of the batch's states
+	saNext     []float64 // B×W: next-state ++ smoothed target action
+	saCur      []float64 // B×W: state ++ action
+	rewards    []float64 // B
+	done       []bool    // B
+	yBuf       []float64 // B: clipped double-Q TD targets
+	dOut1      []float64 // B×1: critic-1 output gradients (reused as -1s in the actor phase)
+	dOut2      []float64 // B×1: critic-2 output gradients
+	actorBS    *nn.BatchScratch
+	criticBS   *nn.BatchScratch
 
-	// Reusable buffers for Update's per-transition inner loops (scratch
-	// forward/backward buffers, traces, state++action concatenation), so a
-	// training step allocates nothing in steady state.
-	criticScratch *nn.Scratch
-	actorScratch  *nn.Scratch
-	discardGrads  *nn.Grads // critic grads discarded during the actor update
-	c1Trace       *nn.Trace
-	c2Trace       *nn.Trace
-	actorTrace    *nn.Trace
-	saBuf         []float64
-	dOutBuf       []float64
+	shards  []updateShard
+	tdShard []float64 // per-shard Σ|TD error|, summed in shard order
+
+	// Method values bound once so the serial runShards path passes a
+	// prebuilt func and stays allocation-free.
+	criticShardFn func(int)
+	actorShardFn  func(int)
 
 	updates        int
 	skippedUpdates int64
-	batch          []Transition
 }
 
 // SkippedUpdates counts optimizer steps discarded because the batch produced
@@ -163,17 +201,48 @@ func NewTD3(cfg Config) *TD3 {
 	t.actorOpt = nn.NewAdam(t.Actor, cfg.ActorLR)
 	t.c1Opt = nn.NewAdam(t.critic1, cfg.CriticLR)
 	t.c2Opt = nn.NewAdam(t.critic2, cfg.CriticLR)
-	t.actorGrads = nn.NewGrads(t.Actor)
-	t.c1Grads = nn.NewGrads(t.critic1)
-	t.c2Grads = nn.NewGrads(t.critic2)
-	t.criticScratch = nn.NewScratch(t.critic1)
-	t.actorScratch = nn.NewScratch(t.Actor)
-	t.discardGrads = nn.NewGrads(t.critic1)
-	t.c1Trace = nn.NewTrace(t.critic1)
-	t.c2Trace = nn.NewTrace(t.critic2)
-	t.actorTrace = nn.NewTrace(t.Actor)
-	t.saBuf = make([]float64, 0, cfg.StateDim+cfg.ActionDim)
-	t.dOutBuf = make([]float64, 1)
+
+	B, S, A := cfg.Batch, cfg.StateDim, cfg.ActionDim
+	W := S + A
+	t.nextStates = make([]float64, B*S)
+	t.states = make([]float64, B*S)
+	t.saNext = make([]float64, B*W)
+	t.saCur = make([]float64, B*W)
+	t.rewards = make([]float64, B)
+	t.done = make([]bool, B)
+	t.yBuf = make([]float64, B)
+	t.dOut1 = make([]float64, B)
+	t.dOut2 = make([]float64, B)
+	t.actorBS = nn.NewBatchScratch(t.Actor, B)
+	t.criticBS = nn.NewBatchScratch(t.critic1, B)
+
+	c1Tr := nn.NewBatchTrace(t.critic1, B)
+	c2Tr := nn.NewBatchTrace(t.critic2, B)
+	aTr := nn.NewBatchTrace(t.Actor, B)
+	n := (B + shardRows - 1) / shardRows
+	t.shards = make([]updateShard, n)
+	t.tdShard = make([]float64, n)
+	for s := range t.shards {
+		r0 := s * shardRows
+		r1 := r0 + shardRows
+		if r1 > B {
+			r1 = B
+		}
+		t.shards[s] = updateShard{
+			r0: r0, r1: r1,
+			c1Tr:    c1Tr.Slice(r0, r1),
+			c2Tr:    c2Tr.Slice(r0, r1),
+			actorTr: aTr.Slice(r0, r1),
+			c1G:     nn.NewGrads(t.critic1),
+			c2G:     nn.NewGrads(t.critic2),
+			actorG:  nn.NewGrads(t.Actor),
+			criticS: nn.NewBatchScratch(t.critic1, r1-r0),
+			actorS:  nn.NewBatchScratch(t.Actor, r1-r0),
+			dAct:    make([]float64, (r1-r0)*A),
+		}
+	}
+	t.criticShardFn = t.criticShard
+	t.actorShardFn = t.actorShard
 	return t
 }
 
@@ -211,62 +280,73 @@ func concat(a, b []float64) []float64 {
 	return append(out, b...)
 }
 
-// concatInto writes a followed by b into dst[:0], growing dst only if its
-// capacity is too small.
-func concatInto(dst, a, b []float64) []float64 {
-	dst = append(dst[:0], a...)
-	return append(dst, b...)
-}
-
 // Update performs one TD3 training step on a batch sampled from buf and
 // returns the mean critic TD error (diagnostic). Every PolicyDelay-th call
 // also updates the actor and the target networks.
+//
+// The step runs in three phases. Phase A is sequential because it consumes
+// the agent RNG: sample indices, gather the batch into flat matrices, and
+// compute the clipped double-Q targets with batched target-network
+// forwards. Phases B (critic forward/backward) and C (actor phase, every
+// PolicyDelay-th call) run per shard — serially or on Config.Workers
+// goroutines — and fold the per-shard gradients pairwise; see shardRows for
+// why the result is independent of the worker count.
 func (t *TD3) Update(buf *ReplayBuffer) float64 {
 	if buf.Len() < t.cfg.Batch {
 		return 0
 	}
-	t.batch = buf.Sample(t.rng, t.cfg.Batch, t.batch)
-	batch := t.batch
-
-	t.c1Grads.Zero()
-	t.c2Grads.Zero()
-	var tdErr float64
-	for _, tr := range batch {
-		// Target action with smoothing noise (TD3 trick #3). aT lives in the
-		// actor scratch; it is consumed by the concat below.
-		aT := t.actorTarget.ForwardInto(tr.NextState, t.actorScratch)
-		for i := range aT {
-			noise := clip(t.rng.Norm(0, t.cfg.TargetNoise), -t.cfg.NoiseClip, t.cfg.NoiseClip)
-			aT[i] = clip(aT[i]+noise, -1, 1)
-		}
-		// Clipped double-Q target (TD3 trick #1).
-		t.saBuf = concatInto(t.saBuf, tr.NextState, aT)
-		q1T := t.c1Target.ForwardInto(t.saBuf, t.criticScratch)[0]
-		q2T := t.c2Target.ForwardInto(t.saBuf, t.criticScratch)[0]
-		y := tr.Reward
-		if !tr.Done {
-			y += t.cfg.Gamma * math.Min(q1T, q2T)
-		}
-
-		t.saBuf = concatInto(t.saBuf, tr.State, tr.Action)
-		tr1 := t.critic1.ForwardTraceInto(t.saBuf, t.c1Trace)
-		tr2 := t.critic2.ForwardTraceInto(t.saBuf, t.c2Trace)
-		e1 := tr1.Output()[0] - y
-		e2 := tr2.Output()[0] - y
-		tdErr += math.Abs(e1)
-		t.dOutBuf[0] = 2 * e1
-		t.critic1.BackwardInto(tr1, t.dOutBuf, t.c1Grads, t.criticScratch)
-		t.dOutBuf[0] = 2 * e2
-		t.critic2.BackwardInto(tr2, t.dOutBuf, t.c2Grads, t.criticScratch)
+	B, S, A := t.cfg.Batch, t.cfg.StateDim, t.cfg.ActionDim
+	W := S + A
+	idx := buf.SampleIndices(t.rng, B)
+	for k, j := range idx {
+		tr := buf.At(j)
+		copy(t.states[k*S:(k+1)*S], tr.State)
+		copy(t.nextStates[k*S:(k+1)*S], tr.NextState)
+		copy(t.saCur[k*W:k*W+S], tr.State)
+		copy(t.saCur[k*W+S:(k+1)*W], tr.Action)
+		t.rewards[k] = tr.Reward
+		t.done[k] = tr.Done
 	}
-	inv := 1 / float64(len(batch))
-	t.c1Grads.Scale(inv)
-	t.c2Grads.Scale(inv)
-	t.c1Grads.ClipNorm(t.cfg.GradClip)
-	t.c2Grads.ClipNorm(t.cfg.GradClip)
-	if t.c1Grads.AllFinite() && t.c2Grads.AllFinite() {
-		t.c1Opt.Step(t.critic1, t.c1Grads)
-		t.c2Opt.Step(t.critic2, t.c2Grads)
+
+	// Target actions with smoothing noise (TD3 trick #3), batched; the
+	// noise stream is drawn in row-major order, matching the retired
+	// per-sample path draw for draw.
+	aT := t.actorTarget.ForwardBatchInto(t.nextStates, B, t.actorBS)
+	for k := 0; k < B; k++ {
+		copy(t.saNext[k*W:k*W+S], t.nextStates[k*S:(k+1)*S])
+		for i := 0; i < A; i++ {
+			noise := clip(t.rng.Norm(0, t.cfg.TargetNoise), -t.cfg.NoiseClip, t.cfg.NoiseClip)
+			t.saNext[k*W+S+i] = clip(aT[k*A+i]+noise, -1, 1)
+		}
+	}
+	// Clipped double-Q targets (trick #1). The second forward reuses the
+	// critic scratch, so the first result is copied out before it runs.
+	q1 := t.c1Target.ForwardBatchInto(t.saNext, B, t.criticBS)
+	copy(t.yBuf, q1[:B])
+	q2 := t.c2Target.ForwardBatchInto(t.saNext, B, t.criticBS)
+	for k := 0; k < B; k++ {
+		y := t.rewards[k]
+		if !t.done[k] {
+			y += t.cfg.Gamma * math.Min(t.yBuf[k], q2[k])
+		}
+		t.yBuf[k] = y
+	}
+
+	t.runShards(t.criticShardFn)
+	var tdErr float64
+	for _, td := range t.tdShard {
+		tdErr += td
+	}
+	c1G := t.reduceShards(pickC1)
+	c2G := t.reduceShards(pickC2)
+	inv := 1 / float64(B)
+	c1G.Scale(inv)
+	c2G.Scale(inv)
+	c1G.ClipNorm(t.cfg.GradClip)
+	c2G.ClipNorm(t.cfg.GradClip)
+	if c1G.AllFinite() && c2G.AllFinite() {
+		t.c1Opt.Step(t.critic1, c1G)
+		t.c2Opt.Step(t.critic2, c2G)
 	} else {
 		t.skippedUpdates++
 		tdErr = 0 // the TD error of a poisoned batch is meaningless
@@ -274,26 +354,12 @@ func (t *TD3) Update(buf *ReplayBuffer) float64 {
 
 	t.updates++
 	if t.updates%t.cfg.PolicyDelay == 0 { // delayed policy update (TD3 trick #2)
-		t.actorGrads.Zero()
-		t.discardGrads.Zero() // critic grads discarded; only dIn matters
-		for _, tr := range batch {
-			actTr := t.Actor.ForwardTraceInto(tr.State, t.actorTrace)
-			a := actTr.Output()
-			t.saBuf = concatInto(t.saBuf, tr.State, a)
-			cTr := t.critic1.ForwardTraceInto(t.saBuf, t.c1Trace)
-			// Maximize Q: dLoss/dQ = -1; get dQ/d(state++action), keep the
-			// action slice, push through the actor. dIn aliases the critic
-			// scratch; the actor backward uses its own scratch, so slicing
-			// dAction out of it is safe.
-			t.dOutBuf[0] = -1
-			dIn := t.critic1.BackwardInto(cTr, t.dOutBuf, t.discardGrads, t.criticScratch)
-			dAction := dIn[len(tr.State):]
-			t.Actor.BackwardInto(actTr, dAction, t.actorGrads, t.actorScratch)
-		}
-		t.actorGrads.Scale(inv)
-		t.actorGrads.ClipNorm(t.cfg.GradClip)
-		if t.actorGrads.AllFinite() {
-			t.actorOpt.Step(t.Actor, t.actorGrads)
+		t.runShards(t.actorShardFn)
+		aG := t.reduceShards(pickActor)
+		aG.Scale(inv)
+		aG.ClipNorm(t.cfg.GradClip)
+		if aG.AllFinite() {
+			t.actorOpt.Step(t.Actor, aG)
 		} else {
 			t.skippedUpdates++
 		}
@@ -304,3 +370,114 @@ func (t *TD3) Update(buf *ReplayBuffer) float64 {
 	}
 	return tdErr * inv
 }
+
+// criticShard runs the critic phase for shard si: forward-trace both
+// critics over the shard's rows, derive the squared-TD-error output
+// gradients against the precomputed targets, and backpropagate into the
+// shard's private gradient accumulators.
+func (t *TD3) criticShard(si int) {
+	sh := &t.shards[si]
+	rows := sh.r1 - sh.r0
+	W := t.cfg.StateDim + t.cfg.ActionDim
+	sa := t.saCur[sh.r0*W : sh.r1*W]
+	t.critic1.ForwardBatchTraceInto(sa, rows, sh.c1Tr)
+	t.critic2.ForwardBatchTraceInto(sa, rows, sh.c2Tr)
+	out1 := sh.c1Tr.Output()
+	out2 := sh.c2Tr.Output()
+	var td float64
+	for r := 0; r < rows; r++ {
+		y := t.yBuf[sh.r0+r]
+		e1 := out1[r] - y
+		e2 := out2[r] - y
+		td += math.Abs(e1)
+		t.dOut1[sh.r0+r] = 2 * e1
+		t.dOut2[sh.r0+r] = 2 * e2
+	}
+	t.tdShard[si] = td
+	t.critic1.BackwardBatchParams(sh.c1Tr, rows, t.dOut1[sh.r0:sh.r1], sh.c1G, sh.criticS)
+	t.critic2.BackwardBatchParams(sh.c2Tr, rows, t.dOut2[sh.r0:sh.r1], sh.c2G, sh.criticS)
+}
+
+// actorShard runs the deterministic-policy-gradient phase for shard si:
+// maximize Q1(s, π(s)) by pushing dQ1/dAction through the actor.
+func (t *TD3) actorShard(si int) {
+	sh := &t.shards[si]
+	rows := sh.r1 - sh.r0
+	S, A := t.cfg.StateDim, t.cfg.ActionDim
+	W := S + A
+	xs := t.states[sh.r0*S : sh.r1*S]
+	t.Actor.ForwardBatchTraceInto(xs, rows, sh.actorTr)
+	a := sh.actorTr.Output()
+	// Rebuild state ++ action rows with the current policy's actions,
+	// reusing saNext's shard rows (their TD-target contents are spent).
+	sa := t.saNext[sh.r0*W : sh.r1*W]
+	for r := 0; r < rows; r++ {
+		copy(sa[r*W:r*W+S], xs[r*S:(r+1)*S])
+		copy(sa[r*W+S:(r+1)*W], a[r*A:(r+1)*A])
+	}
+	t.critic1.ForwardBatchTraceInto(sa, rows, sh.c1Tr)
+	dq := t.dOut1[sh.r0:sh.r1]
+	for r := range dq {
+		dq[r] = -1 // maximize Q: dLoss/dQ = -1
+	}
+	dIn := t.critic1.BackwardBatchInput(sh.c1Tr, rows, dq, sh.criticS)
+	// Gather the action columns of the critic's input gradients into a
+	// dense rows×A matrix before the actor backward reuses any scratch.
+	for r := 0; r < rows; r++ {
+		copy(sh.dAct[r*A:(r+1)*A], dIn[r*W+S:(r+1)*W])
+	}
+	t.Actor.BackwardBatchParams(sh.actorTr, rows, sh.dAct, sh.actorG, sh.actorS)
+}
+
+// runShards executes fn(s) for every shard. Workers ≤ 1 runs them on the
+// calling goroutine; otherwise up to Workers goroutines pull shard indices
+// from an atomic counter. Work stealing is safe because shards are mutually
+// independent and the reduction order is fixed afterwards.
+func (t *TD3) runShards(fn func(int)) {
+	n := len(t.shards)
+	w := t.cfg.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for s := 0; s < n; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next int32
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(atomic.AddInt32(&next, 1)) - 1
+				if s >= n {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// reduceShards folds the per-shard gradients selected by pick into shard
+// 0's accumulator with a fixed pairwise (stride-doubling) tree, then
+// returns it. The fold order depends only on the shard count, never on
+// which worker produced which shard, so the summed gradient is
+// bit-identical for every Config.Workers.
+func (t *TD3) reduceShards(pick func(*updateShard) *nn.Grads) *nn.Grads {
+	n := len(t.shards)
+	for stride := 1; stride < n; stride *= 2 {
+		for i := 0; i+stride < n; i += 2 * stride {
+			pick(&t.shards[i]).Add(pick(&t.shards[i+stride]))
+		}
+	}
+	return pick(&t.shards[0])
+}
+
+func pickC1(s *updateShard) *nn.Grads    { return s.c1G }
+func pickC2(s *updateShard) *nn.Grads    { return s.c2G }
+func pickActor(s *updateShard) *nn.Grads { return s.actorG }

@@ -5,7 +5,6 @@
 package simcore
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -64,38 +63,84 @@ func (t Timer) At() time.Duration {
 	return t.ev.at
 }
 
-// eventHeap orders events by (time, sequence).
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (time, sequence).
+// Children of slot i live at 4i+1..4i+4 and its parent at (i-1)/4, so the
+// tree is half as deep as a binary heap: pushes (which only walk up) compare
+// against half as many ancestors, and a deep queue keeps more of the
+// frequently-touched top levels in cache. Pops scan up to four children per
+// level, but levels are cheap to scan — the four *Event pointers are
+// adjacent — and there are half as many of them.
+//
+// Because (at, seq) is a total order (seq is unique per event), the pop
+// sequence is independent of heap shape: any arity yields the same event
+// order, so golden simcheck digests are unaffected by this layout.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventBefore(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// push appends ev and sifts it up to its position.
+func (h *eventHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventBefore(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = i
+		i = p
+	}
+	q[i] = ev
+	ev.index = i
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *Event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	ev := q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	top.index = -1
+	if n == 0 {
+		return top
+	}
+	// Sift the displaced last element down from the root.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if eventBefore(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !eventBefore(q[m], ev) {
+			break
+		}
+		q[i] = q[m]
+		q[i].index = i
+		i = m
+	}
+	q[i] = ev
+	ev.index = i
+	return top
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
@@ -111,6 +156,12 @@ type Engine struct {
 	// steady-state simulation schedules without heap allocation (packet-level
 	// runs schedule one event per packet hop).
 	free []*Event
+
+	// slab batches the allocations that grow the event population: when the
+	// free-list is empty, alloc carves the next event out of this block
+	// instead of paying one heap allocation per new in-flight event while a
+	// fresh engine ramps up to its working set.
+	slab []Event
 
 	// eventHook, when non-nil, observes every executed event (its firing
 	// time and sequence number) just before the callback runs. The
@@ -144,13 +195,17 @@ func (e *Engine) alloc(at time.Duration) *Event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = &Event{}
+		if len(e.slab) == 0 {
+			e.slab = make([]Event, 64)
+		}
+		ev = &e.slab[0]
+		e.slab = e.slab[1:]
 	}
 	ev.at = at
 	ev.seq = e.nextSeq
 	ev.cancelled = false
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev
 }
 
@@ -229,7 +284,7 @@ func (e *Engine) Run(horizon time.Duration) int {
 		if ev.at > horizon {
 			break
 		}
-		heap.Pop(&e.queue)
+		e.queue.popMin()
 		if ev.cancelled {
 			e.release(ev)
 			continue

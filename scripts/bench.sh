@@ -3,20 +3,45 @@
 # BENCH_harness.json for before/after comparison.
 #
 # Covers the per-step allocation work: event scheduling (simcore), full
-# scenario simulation (exp), NN inference/backprop scratch buffers (nn),
-# and the TD3 update loop (rl). Usage:
+# scenario simulation (exp), NN inference/backprop and the batched kernels
+# (nn), replay sampling and the TD3 update loop (rl). Usage:
 #
 #   scripts/bench.sh             # writes BENCH_harness.json in the repo root
 #   OUT=/tmp/b.json scripts/bench.sh
+#   scripts/bench.sh --smoke     # 1-iteration run: verifies the benchmarks
+#                                # still execute (check.sh calls this)
+#   scripts/bench.sh --compare   # re-run and fail on a >20% ns/op regression
+#                                # or any allocs/op increase vs the recorded
+#                                # baseline (BASE=<file> to override)
 set -eu
 cd "$(dirname "$0")/.."
-OUT=${OUT:-BENCH_harness.json}
+
+BENCHES='BenchmarkEngineSchedule|BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkReplaySample|BenchmarkTD3Update|BenchmarkScenario'
+
+MODE=record
+case "${1:-}" in
+--smoke) MODE=smoke ;;
+--compare) MODE=compare ;;
+"") ;;
+*) echo "usage: $0 [--smoke|--compare]" >&2; exit 2 ;;
+esac
+
+if [ "$MODE" = smoke ]; then
+    # One iteration per benchmark: proves the harness still runs end to end
+    # without paying for statistically stable timings.
+    go test -run '^$' -bench "$BENCHES" -benchtime 1x -benchmem \
+        ./internal/simcore ./internal/nn ./internal/rl ./internal/exp >/dev/null
+    echo "bench smoke OK"
+    exit 0
+fi
+
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+JSONTMP=$(mktemp)
+trap 'rm -f "$TMP" "$JSONTMP"' EXIT
 
 go test -run '^$' -bench 'BenchmarkEngineSchedule' -benchmem ./internal/simcore | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward' -benchmem ./internal/nn | tee -a "$TMP"
-go test -run '^$' -bench 'BenchmarkTD3Update' -benchmem ./internal/rl | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkReplaySample|BenchmarkTD3Update' -benchmem ./internal/rl | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkScenario' -benchtime 3x -benchmem ./internal/exp | tee -a "$TMP"
 
 awk '
@@ -38,5 +63,54 @@ BEGIN { print "{"; first = 1 }
     printf "}"
 }
 END { print "\n}" }
-' "$TMP" > "$OUT"
-echo "wrote $OUT"
+' "$TMP" > "$JSONTMP"
+
+if [ "$MODE" = record ]; then
+    OUT=${OUT:-BENCH_harness.json}
+    cp "$JSONTMP" "$OUT"
+    echo "wrote $OUT"
+    exit 0
+fi
+
+# --compare: fresh run vs recorded baseline. ns/op gets 20% headroom (shared
+# machines throttle); allocs/op is exact — the pooling work must never rot.
+BASE=${BASE:-BENCH_harness.json}
+if [ ! -f "$BASE" ]; then
+    echo "bench.sh --compare: baseline $BASE not found" >&2
+    exit 1
+fi
+awk '
+function load(line,   name, n, parts) {
+    if (!match(line, /"Benchmark[^"]*"/)) return ""
+    name = substr(line, RSTART + 1, RLENGTH - 2)
+    ns[name] = val(line, "ns_per_op")
+    al[name] = val(line, "allocs_per_op")
+    return name
+}
+function val(line, key,   re, s) {
+    re = "\"" key "\": *[0-9.]+"
+    if (!match(line, re)) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub("\"" key "\": *", "", s)
+    return s
+}
+NR == FNR { if ((n = load($0)) != "") { bns[n] = ns[n]; bal[n] = al[n] } next }
+{ load($0) }
+END {
+    bad = 0
+    for (n in ns) {
+        if (!(n in bns)) { printf "NEW   %-50s %12s ns/op\n", n, ns[n]; continue }
+        status = "ok"
+        if (bns[n] + 0 > 0 && ns[n] + 0 > bns[n] * 1.20) {
+            status = "SLOWER"; bad = 1
+        }
+        if (al[n] != "" && bal[n] != "" && al[n] + 0 > bal[n] + 0) {
+            status = "ALLOCS"; bad = 1
+        }
+        printf "%-6s %-50s %12s -> %-12s ns/op  allocs %s -> %s\n", \
+            status, n, bns[n], ns[n], bal[n], al[n]
+    }
+    exit bad
+}
+' "$BASE" "$JSONTMP" || { echo "bench.sh --compare: regression vs $BASE" >&2; exit 1; }
+echo "bench compare OK (baseline $BASE)"

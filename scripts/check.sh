@@ -32,6 +32,9 @@ go test -race -short ./...
 echo "== fault-matrix smoke under the race detector"
 go test -race -short -run '^TestFaultMatrix' ./internal/simcheck
 
+echo "== bench harness smoke (1 iteration per benchmark)"
+scripts/bench.sh --smoke
+
 echo "== fuzz smoke (10s each)"
 go test -run='^$' -fuzz='^FuzzMahimahiParse$' -fuzztime=10s ./internal/traces
 go test -run='^$' -fuzz='^FuzzAgentRPCDecode$' -fuzztime=10s ./internal/agentrpc
