@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/telemetry"
 )
 
 var experiments = []struct {
@@ -59,8 +60,22 @@ func main() {
 		full = flag.Bool("full", false, "run at the paper's full scale (slow on one CPU)")
 		seed = flag.Uint64("seed", 1, "random seed")
 		list = flag.Bool("list", false, "list experiments")
+
+		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
+		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
 	)
 	flag.Parse()
+	hub, err := telemetry.Setup(telemetry.Options{Enabled: *telemetryOn, TraceOut: *traceOut, DebugAddr: *debugAddr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "juryexp:", err)
+		os.Exit(1)
+	}
+	exp.Telemetry = hub
+	defer hub.Close()
+	if addr := hub.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/\n", addr)
+	}
 	if *list || *id == "" {
 		fmt.Println("experiments:")
 		for _, e := range experiments {

@@ -6,9 +6,18 @@
 //
 //	juryplot -fig fig7b -out fig7b.svg
 //	juryplot -fig fig12 -out fig12.svg
+//
+// It can also render a telemetry trace captured with any binary's
+// -trace-out flag: the sim-domain "interval" events become a per-flow
+// throughput-over-virtual-time chart:
+//
+//	jurysim -scheme cubic,jury -trace-out run.jsonl
+//	juryplot -trace run.jsonl -out run.svg
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,20 +30,30 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "", "figure id: fig1a fig1b fig4 fig5 fig7a..fig7h fig8 fig11a fig11b fig12 fig13a fig13b")
-		out  = flag.String("out", "", "output SVG path (default <fig>.svg)")
-		seed = flag.Uint64("seed", 1, "random seed")
-		full = flag.Bool("full", false, "run at the paper's full scale")
+		fig   = flag.String("fig", "", "figure id: fig1a fig1b fig4 fig5 fig7a..fig7h fig8 fig11a fig11b fig12 fig13a fig13b")
+		trace = flag.String("trace", "", "plot a telemetry JSONL trace (sim interval events) instead of a figure")
+		out   = flag.String("out", "", "output SVG path (default <fig>.svg or trace.svg)")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		full  = flag.Bool("full", false, "run at the paper's full scale")
 	)
 	flag.Parse()
-	if *fig == "" {
+	if *fig == "" && *trace == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *out == "" {
-		*out = *fig + ".svg"
+	var chart *plot.Chart
+	var err error
+	if *trace != "" {
+		if *out == "" {
+			*out = "trace.svg"
+		}
+		chart, err = traceChart(*trace)
+	} else {
+		if *out == "" {
+			*out = *fig + ".svg"
+		}
+		chart, err = build(*fig, *seed, *full)
 	}
-	chart, err := build(*fig, *seed, *full)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "juryplot:", err)
 		os.Exit(1)
@@ -44,6 +63,62 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// traceLine is the subset of a telemetry JSONL line the trace plot needs
+// (sim-domain "interval" events; everything else is skipped).
+type traceLine struct {
+	T      string  `json:"t"`
+	Domain string  `json:"domain"`
+	Name   string  `json:"name"`
+	VTNS   int64   `json:"vt_ns"`
+	Flow   string  `json:"flow"`
+	ThrBps float64 `json:"thr_bps"`
+}
+
+// traceChart renders per-flow throughput over virtual time from a telemetry
+// trace captured with -trace-out.
+func traceChart(path string) (*plot.Chart, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	byFlow := map[string]*plot.Series{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var tl traceLine
+		if err := json.Unmarshal(sc.Bytes(), &tl); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lines, err)
+		}
+		if tl.T != "event" || tl.Domain != "sim" || tl.Name != "interval" {
+			continue
+		}
+		s, ok := byFlow[tl.Flow]
+		if !ok {
+			s = &plot.Series{Name: tl.Flow}
+			byFlow[tl.Flow] = s
+			order = append(order, tl.Flow)
+		}
+		s.X = append(s.X, float64(tl.VTNS)/1e9)
+		s.Y = append(s.Y, tl.ThrBps/1e6)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("%s: no sim interval events (was the trace captured with -trace-out?)", path)
+	}
+	sort.Strings(order)
+	c := &plot.Chart{Title: "telemetry trace: " + path, XLabel: "virtual time (s)", YLabel: "throughput (Mbps)"}
+	for _, name := range order {
+		c.Series = append(c.Series, *byFlow[name])
+	}
+	return c, nil
 }
 
 // seriesChart converts flow series rows into a time/Mbps chart.

@@ -24,7 +24,25 @@ import (
 	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
+
+// setupTelemetry builds a hub from the shared -telemetry/-trace-out/
+// -debug-addr flags, installs it on the experiment harness, and returns it
+// (nil when everything is off). The caller must Close it before exiting so
+// the trace buffer flushes.
+func setupTelemetry(enabled bool, traceOut, debugAddr string) *telemetry.Hub {
+	hub, err := telemetry.Setup(telemetry.Options{Enabled: enabled, TraceOut: traceOut, DebugAddr: debugAddr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jurysim:", err)
+		os.Exit(1)
+	}
+	exp.Telemetry = hub
+	if addr := hub.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/\n", addr)
+	}
+	return hub
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "faults" {
@@ -43,8 +61,14 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		series   = flag.Bool("series", false, "print 1-second throughput series per flow")
 		csvPath  = flag.String("csv", "", "write per-flow time series as CSV to this path")
+
+		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
+		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
 	)
 	flag.Parse()
+	hub := setupTelemetry(*telemetryOn, *traceOut, *debugAddr)
+	defer hub.Close()
 
 	names := strings.Split(*schemes, ",")
 	if len(names) == 1 && *flows > 1 {
@@ -131,8 +155,14 @@ func runFaults(args []string) {
 		flows    = fs.Int("flows", 3, "homogeneous flows per scenario")
 		duration = fs.Duration("duration", 60*time.Second, "simulation horizon")
 		seed     = fs.Uint64("seed", 1, "random seed")
+
+		telemetryOn = fs.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
+		traceOut    = fs.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
 	)
 	fs.Parse(args)
+	hub := setupTelemetry(*telemetryOn, *traceOut, *debugAddr)
+	defer hub.Close()
 
 	o := exp.RobustnessOptions{
 		Rate:     *rateMbps * 1e6,

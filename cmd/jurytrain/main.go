@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,11 +34,24 @@ func main() {
 		eval    = flag.String("eval", "", "evaluate a weights file instead of training")
 		rate    = flag.Float64("rate", 100, "eval: link rate, Mbps")
 		rtt     = flag.Float64("rtt", 30, "eval: base RTT, ms")
+
+		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
+		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
 	)
 	flag.Parse()
+	hub, err := telemetry.Setup(telemetry.Options{Enabled: *telemetryOn, TraceOut: *traceOut, DebugAddr: *debugAddr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jurytrain:", err)
+		os.Exit(1)
+	}
+	defer hub.Close()
+	if addr := hub.DebugAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/\n", addr)
+	}
 
 	if *eval != "" {
-		if err := evaluate(*eval, *rate*1e6, time.Duration(*rtt)*time.Millisecond, *seed); err != nil {
+		if err := evaluate(*eval, *rate*1e6, time.Duration(*rtt)*time.Millisecond, *seed, hub); err != nil {
 			fmt.Fprintln(os.Stderr, "jurytrain:", err)
 			os.Exit(1)
 		}
@@ -52,6 +66,9 @@ func main() {
 	opts.UpdateWorkers = *workers
 	opts.Progress = func(epoch int, meanReward, tdErr float64) {
 		fmt.Printf("epoch %3d  mean reward %8.4f  TD error %8.4f\n", epoch, meanReward, tdErr)
+	}
+	if hub.Enabled() {
+		opts.Observer = hub.Training()
 	}
 	fmt.Printf("training Jury: %d epochs x %d actors x %d steps (Table 1 domain)\n",
 		opts.Epochs, opts.Actors, opts.StepsPerActor)
@@ -74,7 +91,7 @@ func main() {
 }
 
 // evaluate runs a 2-flow fairness check with the trained policy.
-func evaluate(path string, rateBps float64, rtt time.Duration, seed uint64) error {
+func evaluate(path string, rateBps float64, rtt time.Duration, seed uint64, hub *telemetry.Hub) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -97,6 +114,7 @@ func evaluate(path string, rateBps float64, rtt time.Duration, seed uint64) erro
 		CC: func() cc.Algorithm { return mkJury(seed + 1) }})
 	f2 := n.AddFlow(netsim.FlowConfig{Name: "b", Path: []*netsim.Link{l}, Start: 20 * time.Second,
 		CC: func() cc.Algorithm { return mkJury(seed + 2) }})
+	telemetry.AttachSim(n, hub)
 	n.Run(80 * time.Second)
 	s1, s2 := f1.Stats(), f2.Stats()
 	fmt.Printf("trained policy on %.0f Mbps / %v:\n", rateBps/1e6, rtt)

@@ -216,6 +216,11 @@ type Client struct {
 	remoteDecisions   int64
 	fallbackDecisions int64
 	dialAttempts      int64
+
+	// latencyHook, when non-nil, observes every Decide's round-trip wall
+	// time and whether the remote service (vs the local fallback) answered.
+	// The telemetry layer points it at a latency histogram.
+	latencyHook func(d time.Duration, remote bool)
 }
 
 // Dial connects to a server. The fallback policy (required) answers while
@@ -289,11 +294,24 @@ func (c *Client) FallbackDecisions() int64 {
 	return c.fallbackDecisions
 }
 
+// SetLatencyHook registers fn to observe every Decide's wall-clock latency
+// (nil detaches it). The hook runs with the client lock held; keep it
+// cheap — a histogram observation, not I/O.
+func (c *Client) SetLatencyHook(fn func(d time.Duration, remote bool)) {
+	c.mu.Lock()
+	c.latencyHook = fn
+	c.mu.Unlock()
+}
+
 // Decide implements core.Policy: one round trip to the service, falling
 // back to the local policy on any error.
 func (c *Client) Decide(state []float64) (float64, float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var start time.Time
+	if c.latencyHook != nil {
+		start = time.Now()
+	}
 	mu, delta, err := c.decideRemote(state)
 	if err != nil {
 		if c.conn != nil {
@@ -301,9 +319,16 @@ func (c *Client) Decide(state []float64) (float64, float64) {
 			c.conn = nil
 		}
 		c.fallbackDecisions++
-		return c.fallback.Decide(state)
+		mu, delta = c.fallback.Decide(state)
+		if c.latencyHook != nil {
+			c.latencyHook(time.Since(start), false)
+		}
+		return mu, delta
 	}
 	c.remoteDecisions++
+	if c.latencyHook != nil {
+		c.latencyHook(time.Since(start), true)
+	}
 	return mu, delta
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cc"
@@ -41,14 +42,16 @@ type Jury struct {
 	lastAction  float64
 	lastReward  float64
 	lastOcc     float64
-	intervals   int64
+	intervals   atomic.Int64
 
 	// Non-finite guard counters (see decide and applyAction): a congestion
 	// controller facing an adversarial network must never let NaN/Inf drive
 	// the window, it degrades to plain AIMD instead — the same shape as the
 	// agentrpc client falling back to a local policy on transport failure.
-	degradedDecisions int64
-	nonfiniteActions  int64
+	// These three are atomics so the telemetry debug endpoint can export
+	// them from another goroutine while the simulation runs.
+	degradedDecisions atomic.Int64
+	nonfiniteActions  atomic.Int64
 
 	// Decision-range trace (EnableRangeTrace): one point per control
 	// interval in which the policy was consulted. The metamorphic tests in
@@ -129,7 +132,7 @@ func (j *Jury) ControlInterval() time.Duration { return j.cfg.Interval }
 // OnInterval implements cc.IntervalAlgorithm: one full pass of the Fig. 2
 // pipeline.
 func (j *Jury) OnInterval(s cc.IntervalStats) {
-	j.intervals++
+	j.intervals.Add(1)
 	if s.FlowMinRTT > 0 {
 		j.minRTT = s.FlowMinRTT
 	}
@@ -183,13 +186,13 @@ func (j *Jury) decide(s cc.IntervalStats) {
 	state := j.transformer.StateInto(j.lastState)
 	j.lastState = state
 	if !finiteFloats(state) || !isFinite(j.lastOcc) {
-		j.degradedDecisions++
+		j.degradedDecisions.Add(1)
 		j.applyAction(j.aimdFallback(s))
 		return
 	}
 	mu, delta := j.policy.Decide(state)
 	if !isFinite(mu) || !isFinite(delta) {
-		j.degradedDecisions++
+		j.degradedDecisions.Add(1)
 		j.applyAction(j.aimdFallback(s))
 		return
 	}
@@ -201,7 +204,7 @@ func (j *Jury) decide(s cc.IntervalStats) {
 	j.applyAction(a)
 	if j.rangeTraceCap != 0 && len(j.rangeTrace) < j.rangeTraceCap {
 		j.rangeTrace = append(j.rangeTrace, RangePoint{
-			Interval:  j.intervals,
+			Interval:  j.intervals.Load(),
 			Mu:        mu,
 			Delta:     delta,
 			Occupancy: j.lastOcc,
@@ -259,7 +262,7 @@ func (j *Jury) exploreAction(a float64) float64 {
 // the decision-boundary guard is airtight).
 func (j *Jury) applyAction(a float64) {
 	if !isFinite(a) {
-		j.nonfiniteActions++
+		j.nonfiniteActions.Add(1)
 		a = -1 // fail toward retreat: never grow the window on garbage
 	}
 	j.lastAction = a
@@ -277,7 +280,7 @@ func (j *Jury) applyAction(a float64) {
 	if !isFinite(j.cwnd) {
 		// NaN survives both clamps (every comparison is false); a corrupted
 		// window restarts from the floor rather than poisoning the flow.
-		j.nonfiniteActions++
+		j.nonfiniteActions.Add(1)
 		j.cwnd = j.cfg.MinCwnd
 	}
 }
@@ -343,17 +346,18 @@ func (j *Jury) Occupancy() float64 { return j.lastOcc }
 func (j *Jury) Signals() Signals { return j.lastSignals }
 
 // Intervals returns how many control intervals have elapsed.
-func (j *Jury) Intervals() int64 { return j.intervals }
+func (j *Jury) Intervals() int64 { return j.intervals.Load() }
 
 // DegradedDecisions returns how many control intervals fell back to the
 // AIMD action because non-finite signals or policy output reached the
-// decision boundary.
-func (j *Jury) DegradedDecisions() int64 { return j.degradedDecisions }
+// decision boundary. Safe to call from any goroutine (the telemetry layer
+// exports it live).
+func (j *Jury) DegradedDecisions() int64 { return j.degradedDecisions.Load() }
 
 // NonFiniteActions returns how many non-finite actions (or windows) slipped
 // past the decision-boundary guard into Eq. 7. It must stay zero; the
-// robustness experiments assert it.
-func (j *Jury) NonFiniteActions() int64 { return j.nonfiniteActions }
+// robustness experiments assert it. Safe to call from any goroutine.
+func (j *Jury) NonFiniteActions() int64 { return j.nonfiniteActions.Load() }
 
 // EnableRangeTrace starts recording one RangePoint per policy decision, up
 // to max points (memory bound: a 60 s run at the default 30 ms interval

@@ -19,6 +19,9 @@ type TrainOptions struct {
 	UpdateWorkers int
 	Seed          uint64
 	Progress      func(epoch int, meanReward, tdErr float64)
+	// Observer, if non-nil, receives structured training telemetry (see
+	// rl.TrainObserver; internal/telemetry provides the implementation).
+	Observer rl.TrainObserver
 }
 
 // DefaultTrainOptions returns a laptop-scale training budget (the paper
@@ -62,6 +65,7 @@ func TrainPolicy(opts TrainOptions) (*rl.TD3, *rl.TrainResult, error) {
 		NoiseStd:        0.3,
 		Seed:            opts.Seed,
 		Progress:        opts.Progress,
+		Observer:        opts.Observer,
 	})
 	if err != nil {
 		return nil, nil, err

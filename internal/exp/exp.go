@@ -26,8 +26,16 @@ import (
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/simcheck"
+	"repro/internal/telemetry"
 	"repro/internal/traces"
 )
+
+// Telemetry, when set to a live hub by a binary's -telemetry/-trace-out/
+// -debug-addr flags, instruments every Run: run lifecycle counters and
+// spans, plus a SimObserver attached to each scenario's network. A nil hub
+// (the default) keeps the harness on its uninstrumented fast path — Run
+// does one nil check and nothing else.
+var Telemetry *telemetry.Hub
 
 // ForceCheck attaches a simcheck invariant checker to every scenario Run
 // executes, regardless of Scenario.Check. It is initialized from the
@@ -179,6 +187,23 @@ func Run(s Scenario) (*RunResult, error) {
 	if s.Check || ForceCheck {
 		ck = simcheck.Attach(n)
 	}
+	hub := Telemetry
+	var span telemetry.Span
+	var runSeconds *telemetry.Histogram
+	var started time.Time
+	if hub.Enabled() {
+		// The checker's tap and engine hook are installed first; AttachSim
+		// chains them, so checking and telemetry compose.
+		telemetry.AttachSim(n, hub)
+		hub.Registry.Counter("exp_runs_started_total", "scenario runs started").Inc()
+		runSeconds = hub.Registry.Histogram("exp_run_seconds", "wall time of one scenario run", telemetry.ExpBuckets(1e-3, 2, 18))
+		span = hub.StartSpan("run:"+s.Name, 0)
+		hub.Event("exp", "run_start", 0,
+			telemetry.Str("scenario", s.Name),
+			telemetry.I64("flows", int64(len(s.Flows))),
+			telemetry.I64("seed", int64(s.Seed)))
+		started = time.Now()
+	}
 	n.Run(s.Horizon)
 	res := &RunResult{
 		Scenario:    s,
@@ -189,10 +214,23 @@ func Run(s Scenario) (*RunResult, error) {
 	if ck != nil {
 		ck.Finish()
 		if err := ck.Err(); err != nil {
+			if hub.Enabled() {
+				hub.Registry.Counter("exp_runs_failed_total", "scenario runs that returned an error").Inc()
+				span.End(s.Horizon, telemetry.Str("outcome", "invariant_violation"))
+			}
 			return nil, fmt.Errorf("exp: scenario %q: %w", s.Name, err)
 		}
 		res.Digest = ck.Digest()
 		res.Checked = true
+	}
+	if hub.Enabled() {
+		runSeconds.Observe(time.Since(started).Seconds())
+		hub.Registry.Counter("exp_runs_finished_total", "scenario runs finished successfully").Inc()
+		span.End(s.Horizon, telemetry.Str("outcome", "ok"))
+		hub.Event("exp", "run_finish", s.Horizon,
+			telemetry.Str("scenario", s.Name),
+			telemetry.F64("utilization", res.Utilization),
+			telemetry.Str("digest", fmt.Sprintf("%016x", res.Digest)))
 	}
 	return res, nil
 }

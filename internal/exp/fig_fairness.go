@@ -172,11 +172,12 @@ func Fig6JainIndex(o Fig6Options) ([]Fig6Row, error) {
 		for r := 0; r < o.Runs; r++ {
 			jains = append(jains, metrics.TimewiseJain(results[si*o.Runs+r].Flows))
 		}
+		pcts := metrics.Percentiles(jains, 5, 95)
 		rows = append(rows, Fig6Row{
 			Scheme:   scheme,
 			MeanJain: metrics.Mean(jains),
-			P5:       metrics.Percentile(jains, 5),
-			P95:      metrics.Percentile(jains, 95),
+			P5:       pcts[0],
+			P95:      pcts[1],
 			Runs:     len(jains),
 		})
 	}

@@ -6,6 +6,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // parallelFor runs fn(i) for every i in [0, n) across up to GOMAXPROCS
@@ -88,12 +91,35 @@ func runSafe(s Scenario) (r *RunResult, err error) {
 // returned and the results are discarded.
 func RunMany(jobs []Scenario) ([]*RunResult, error) {
 	results := make([]*RunResult, len(jobs))
+	hub := Telemetry
+	var completed atomic.Int64
+	var sweepStart time.Time
+	if hub.Enabled() {
+		sweepStart = time.Now()
+		hub.Event("exp", "sweep_start", 0, telemetry.I64("total", int64(len(jobs))))
+	}
 	err := parallelFor(len(jobs), func(i int) error {
 		r, err := runSafe(jobs[i])
 		if _, panicked := err.(*PanicError); panicked {
+			if hub.Enabled() {
+				hub.Registry.Counter("exp_panic_retries_total", "scenario runs retried after a panic").Inc()
+				hub.Event("exp", "panic_retry", 0, telemetry.Str("scenario", jobs[i].Name))
+			}
 			r, err = runSafe(jobs[i])
 		}
 		results[i] = r
+		if hub.Enabled() {
+			done := completed.Add(1)
+			elapsed := time.Since(sweepStart)
+			// Linear extrapolation from the mean per-run wall time; coarse
+			// but monotone, and only emitted on the instrumented path.
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(int64(len(jobs))-done))
+			hub.Event("exp", "progress", 0,
+				telemetry.I64("completed", done),
+				telemetry.I64("total", int64(len(jobs))),
+				telemetry.Dur("elapsed_ns", elapsed),
+				telemetry.Dur("eta_ns", eta))
+		}
 		return err
 	})
 	if err != nil {

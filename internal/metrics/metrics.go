@@ -103,10 +103,6 @@ func MeanRTT(f *netsim.Flow, from, to time.Duration) time.Duration {
 // the "average Jain index" of the paper's Fig. 6, which penalizes both
 // unequal equilibria and slow convergence.
 func TimewiseJain(flows []*netsim.Flow) float64 {
-	type pt struct {
-		t   time.Duration
-		thr float64
-	}
 	series := make(map[time.Duration][]float64)
 	for _, f := range flows {
 		for _, p := range f.Series() {
@@ -147,6 +143,34 @@ func Percentile(xs []float64, p float64) float64 {
 		rank = 0
 	}
 	return s[rank]
+}
+
+// Percentiles returns the percentiles (0..100, nearest-rank) of xs for each
+// p in ps, sorting once — use it instead of repeated Percentile calls when
+// several quantiles of the same sample are needed. Empty xs yields all
+// zeros.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, p := range ps {
+		switch {
+		case p <= 0:
+			out[i] = s[0]
+		case p >= 100:
+			out[i] = s[len(s)-1]
+		default:
+			rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			out[i] = s[rank]
+		}
+	}
+	return out
 }
 
 // Mean returns the arithmetic mean (0 for empty input).

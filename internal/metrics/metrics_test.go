@@ -77,6 +77,27 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentiles(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got := Percentiles(xs, 0, 50, 95, 100)
+	for i, p := range []float64{0, 50, 95, 100} {
+		if want := Percentile(xs, p); got[i] != want {
+			t.Errorf("Percentiles p%v = %v, want %v (Percentile agreement)", p, got[i], want)
+		}
+	}
+	if xs[0] != 5 {
+		t.Fatal("Percentiles sorted the caller's slice")
+	}
+	for _, v := range Percentiles(nil, 5, 95) {
+		if v != 0 {
+			t.Fatalf("empty Percentiles = %v, want zeros", v)
+		}
+	}
+	if len(Percentiles(xs)) != 0 {
+		t.Fatal("no requested percentiles should yield an empty slice")
+	}
+}
+
 func TestMean(t *testing.T) {
 	if Mean([]float64{1, 2, 3}) != 2 {
 		t.Fatal("mean wrong")
@@ -125,6 +146,10 @@ func TestTimewiseJain(t *testing.T) {
 	if TimewiseJain(nil) != 1 {
 		t.Fatal("no-flow timewise Jain should be 1 (vacuous)")
 	}
+	// A lone flow is trivially fair at every instant.
+	if j := TimewiseJain(flows[:1]); j != 1 {
+		t.Fatalf("single-flow timewise Jain = %v, want 1", j)
+	}
 }
 
 func TestConvergenceTime(t *testing.T) {
@@ -143,5 +168,57 @@ func TestConvergenceTime(t *testing.T) {
 	}
 	if ConvergenceTime(f, 0, 100e6, 0.8, 3) != -1 {
 		t.Fatal("unreachable share should report -1")
+	}
+}
+
+// TestConvergenceTimeHoldBoundary: exactly `hold` qualifying samples succeed;
+// one more than the series can supply reports -1.
+func TestConvergenceTimeHoldBoundary(t *testing.T) {
+	n := netsim.New(netsim.Config{Seed: 3})
+	l := n.AddLink(netsim.LinkConfig{Rate: 10e6, Delay: 10 * time.Millisecond, BufferBytes: 100_000})
+	f := n.AddFlow(netsim.FlowConfig{Name: "steady", Path: []*netsim.Link{l},
+		CC: func() cc.Algorithm { return cc.NewManual(9e6) }})
+	n.Run(10 * time.Second)
+
+	target := 0.8 * 9e6
+	qualifying := 0
+	for _, p := range f.Series() {
+		if p.ThroughputBps >= target {
+			qualifying++
+		}
+	}
+	if qualifying < 2 {
+		t.Fatalf("test setup: only %d qualifying samples", qualifying)
+	}
+	if got := ConvergenceTime(f, 0, 9e6, 0.8, qualifying); got < 0 {
+		t.Fatalf("hold == qualifying samples (%d) should converge, got %v", qualifying, got)
+	}
+	if got := ConvergenceTime(f, 0, 9e6, 0.8, qualifying+1); got != -1 {
+		t.Fatalf("hold > qualifying samples should report -1, got %v", got)
+	}
+}
+
+// TestConvergenceTimePreStart: samples before `start` must be ignored — both
+// for the clock origin and for run counting.
+func TestConvergenceTimePreStart(t *testing.T) {
+	n := netsim.New(netsim.Config{Seed: 4})
+	l := n.AddLink(netsim.LinkConfig{Rate: 10e6, Delay: 10 * time.Millisecond, BufferBytes: 100_000})
+	man := cc.NewManual(9e6)
+	f := n.AddFlow(netsim.FlowConfig{Name: "fade", Path: []*netsim.Link{l},
+		CC: func() cc.Algorithm { return man }})
+	n.Run(5 * time.Second)
+	man.SetRate(0.5e6) // collapses after t=5s
+	n.Run(15 * time.Second)
+
+	// Fast only before start: the pre-start samples must not count toward
+	// convergence measured from t=5s.
+	if got := ConvergenceTime(f, 5*time.Second, 9e6, 0.8, 3); got != -1 {
+		t.Fatalf("pre-start samples leaked into the hold run: got %v, want -1", got)
+	}
+	// Measured from t=0 the same flow converges almost immediately, and the
+	// reported time is relative to start (never negative).
+	got := ConvergenceTime(f, 0, 9e6, 0.8, 3)
+	if got < 0 || got > 2*time.Second {
+		t.Fatalf("convergence from t=0 = %v, want small and non-negative", got)
 	}
 }

@@ -101,6 +101,54 @@ func (n *Network) SetTap(t Tap) { n.tap = t }
 // Tap returns the installed observer (nil if none).
 func (n *Network) Tap() Tap { return n.tap }
 
+// teeTap fans every Tap callback out to two observers in order. It exists
+// so the invariant checker (internal/simcheck) and the telemetry layer can
+// observe the same run through the single tap slot.
+type teeTap struct{ a, b Tap }
+
+func (t teeTap) PacketSent(f *Flow, bytes int) { t.a.PacketSent(f, bytes); t.b.PacketSent(f, bytes) }
+func (t teeTap) PacketLost(f *Flow, bytes int) { t.a.PacketLost(f, bytes); t.b.PacketLost(f, bytes) }
+func (t teeTap) QueueEnqueued(l *Link, bytes int) {
+	t.a.QueueEnqueued(l, bytes)
+	t.b.QueueEnqueued(l, bytes)
+}
+func (t teeTap) QueueDeparted(l *Link, bytes int) {
+	t.a.QueueDeparted(l, bytes)
+	t.b.QueueDeparted(l, bytes)
+}
+func (t teeTap) PacketAcked(f *Flow, bytes int, rtt time.Duration) {
+	t.a.PacketAcked(f, bytes, rtt)
+	t.b.PacketAcked(f, bytes, rtt)
+}
+func (t teeTap) QueueDropped(l *Link, bytes int, random bool) {
+	t.a.QueueDropped(l, bytes, random)
+	t.b.QueueDropped(l, bytes, random)
+}
+func (t teeTap) IntervalDelivered(f *Flow, s cc.IntervalStats) {
+	t.a.IntervalDelivered(f, s)
+	t.b.IntervalDelivered(f, s)
+}
+func (t teeTap) FaultInjected(l *Link, f *Flow, kind FaultKind, bytes int) {
+	t.a.FaultInjected(l, f, kind, bytes)
+	t.b.FaultInjected(l, f, kind, bytes)
+}
+
+// Taps composes observers into one Tap, dropping nils: Taps() is nil,
+// Taps(a) is a, Taps(a, b) observes a first then b.
+func Taps(taps ...Tap) Tap {
+	var out Tap
+	for _, t := range taps {
+		switch {
+		case t == nil:
+		case out == nil:
+			out = t
+		default:
+			out = teeTap{a: out, b: t}
+		}
+	}
+	return out
+}
+
 // Now reports current virtual time.
 func (n *Network) Now() time.Duration { return n.eng.Now() }
 

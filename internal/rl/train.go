@@ -4,10 +4,23 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/simcore"
 )
+
+// TrainObserver receives training-loop telemetry. All methods are called
+// synchronously from the training goroutine; implementations must be cheap
+// (internal/telemetry's TrainingObserver satisfies this interface). A nil
+// Observer field disables the calls entirely.
+type TrainObserver interface {
+	// EpochEnd fires after each collection/update round with the epoch's
+	// statistics and the wall time of its two phases.
+	EpochEnd(epoch int, meanReward, tdErr float64, replayLen int, skippedUpdates int64, collectDur, updateDur time.Duration)
+	// CheckpointSaved fires after each atomic checkpoint write.
+	CheckpointSaved(epoch int, dur time.Duration)
+}
 
 // TrainConfig drives the distributed training loop of §4: several parallel
 // actors collect experience against independent environments while a single
@@ -31,6 +44,10 @@ type TrainConfig struct {
 	// Progress, if non-nil, is called after each epoch with the mean
 	// per-step reward of the epoch's fresh experience and the mean TD error.
 	Progress func(epoch int, meanReward, tdErr float64)
+
+	// Observer, if non-nil, receives structured training telemetry
+	// (per-epoch statistics, phase timings, checkpoint latency).
+	Observer TrainObserver
 
 	// CheckpointPath, if non-empty, makes Train write an atomic checkpoint
 	// (temp file + rename) every CheckpointEvery epochs, so a killed run
@@ -111,6 +128,11 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		policy := cfg.Agent.Actor.Clone()
 		warmup := epoch < cfg.WarmupEpochs
 
+		var collectStart time.Time
+		if cfg.Observer != nil {
+			collectStart = time.Now()
+		}
+
 		type chunk struct {
 			transitions []Transition
 			rewardSum   float64
@@ -147,6 +169,12 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 			states[ai] = chunks[ai].endState
 		}
 
+		var collectDur time.Duration
+		var updateStart time.Time
+		if cfg.Observer != nil {
+			updateStart = time.Now()
+			collectDur = updateStart.Sub(collectStart)
+		}
 		var tdErr float64
 		for u := 0; u < cfg.UpdatesPerEpoch; u++ {
 			tdErr = cfg.Agent.Update(buf)
@@ -154,6 +182,10 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		meanReward := rewardSum / float64(steps)
 		res.EpochRewards = append(res.EpochRewards, meanReward)
 		res.FinalTDErr = tdErr
+		if cfg.Observer != nil {
+			cfg.Observer.EpochEnd(epoch, meanReward, tdErr, buf.Len(),
+				cfg.Agent.SkippedUpdates(), collectDur, time.Since(updateStart))
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, meanReward, tdErr)
 		}
@@ -164,8 +196,12 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 			ck.Epoch = epoch + 1
 			ck.Noise = noise
 			ck.EpochRewards = res.EpochRewards
+			ckStart := time.Now()
 			if err := SaveCheckpoint(cfg.CheckpointPath, ck); err != nil {
 				return nil, err
+			}
+			if cfg.Observer != nil {
+				cfg.Observer.CheckpointSaved(epoch+1, time.Since(ckStart))
 			}
 		}
 	}

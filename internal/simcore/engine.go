@@ -257,10 +257,17 @@ func (e *Engine) ScheduleArgAfter(d time.Duration, fn func(any), arg any) Timer 
 // SetEventHook registers fn to observe every executed event. The hook runs
 // on the simulation goroutine immediately before each event's callback, with
 // the event's firing time and global sequence number. A nil fn detaches the
-// hook. At most one hook is registered at a time; internal/simcheck
-// multiplexes its checks over it.
+// hook. At most one hook is registered at a time; observers that need to
+// stack (internal/simcheck plus internal/telemetry) read the current hook
+// with EventHook and chain it inside their own.
 func (e *Engine) SetEventHook(fn func(at time.Duration, seq uint64)) {
 	e.eventHook = fn
+}
+
+// EventHook returns the currently registered hook (nil if none), so a new
+// observer can chain the previous one instead of displacing it.
+func (e *Engine) EventHook() func(at time.Duration, seq uint64) {
+	return e.eventHook
 }
 
 // Stop makes Run return after the currently executing event completes.

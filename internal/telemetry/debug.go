@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves live debug endpoints while a run is in flight:
+//
+//	/metrics       — the registry in Prometheus text format
+//	/metrics.json  — the registry as JSON
+//	/debug/vars    — expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/  — CPU/heap/goroutine/block profiles (net/http/pprof)
+//
+// It binds synchronously (so the caller learns the ephemeral port) and
+// serves in a background goroutine.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr ("127.0.0.1:0" for an ephemeral
+// port) exposing reg.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "jury debug endpoint\n\n"+
+			"  /metrics        Prometheus text exposition\n"+
+			"  /metrics.json   JSON exposition\n"+
+			"  /debug/vars     expvar\n"+
+			"  /debug/pprof/   pprof profiles (profile?seconds=N for CPU)\n")
+	})
+	d := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr reports the bound address (host:port).
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the server.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

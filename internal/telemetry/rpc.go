@@ -1,0 +1,44 @@
+package telemetry
+
+import "time"
+
+// RPCServerStats is the structural slice of agentrpc.Server the hub
+// exports (Decisions and Panics are mutex-guarded, safe to call from the
+// debug HTTP goroutine).
+type RPCServerStats interface {
+	Decisions() int64
+	Panics() int64
+}
+
+// ExportRPCServer registers callback gauges mirroring the inference
+// server's served-request and policy-panic counters.
+func (h *Hub) ExportRPCServer(s RPCServerStats) {
+	if h == nil || s == nil {
+		return
+	}
+	h.Registry.GaugeFunc("rpc_server_decisions", "requests served by the local inference server",
+		func() float64 { return float64(s.Decisions()) })
+	h.Registry.GaugeFunc("rpc_server_panics", "connections dropped by a panicking policy",
+		func() float64 { return float64(s.Panics()) })
+}
+
+// RPCClientHook returns a latency hook for agentrpc.Client.SetLatencyHook:
+// it feeds the round-trip histogram and the remote/fallback decision
+// counters. Returns nil when the hub is disabled, so the client keeps its
+// zero-cost nil-hook fast path.
+func (h *Hub) RPCClientHook() func(d time.Duration, remote bool) {
+	if h == nil {
+		return nil
+	}
+	lat := h.Registry.Histogram("rpc_decide_seconds", "client-observed decision round-trip latency", ExpBuckets(1e-5, 2, 16))
+	remoteC := h.Registry.Counter("rpc_remote_decisions_total", "policy decisions answered by the inference service")
+	fallbackC := h.Registry.Counter("rpc_fallback_decisions_total", "policy decisions served by the local fallback")
+	return func(d time.Duration, remote bool) {
+		lat.Observe(d.Seconds())
+		if remote {
+			remoteC.Inc()
+		} else {
+			fallbackC.Inc()
+		}
+	}
+}

@@ -44,8 +44,16 @@ go test -run '^$' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward' -benchmem ./
 go test -run '^$' -bench 'BenchmarkReplaySample|BenchmarkTD3Update' -benchmem ./internal/rl | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkScenario' -benchtime 3x -benchmem ./internal/exp | tee -a "$TMP"
 
-awk '
-BEGIN { print "{"; first = 1 }
+# The _meta entry records provenance; --compare's parser only loads lines
+# naming a "Benchmark...", so it is ignored by the regression gate.
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+awk -v commit="$COMMIT" -v stamp="$STAMP" '
+BEGIN {
+    print "{"
+    printf "  \"_meta\": {\"commit\": \"%s\", \"recorded_at\": \"%s\"}", commit, stamp
+    first = 0
+}
 /^Benchmark/ {
     name = $1
     nsop = ""; bop = ""; allocs = ""

@@ -32,6 +32,9 @@ go test -race -short ./...
 echo "== fault-matrix smoke under the race detector"
 go test -race -short -run '^TestFaultMatrix' ./internal/simcheck
 
+echo "== telemetry: disabled-path zero-alloc + digest parity"
+go test -run '^(TestDisabledZeroAlloc|TestEnabledEventZeroAlloc|TestNilSafety|TestTelemetryDigestParity)$' -count=1 ./internal/telemetry
+
 echo "== bench harness smoke (1 iteration per benchmark)"
 scripts/bench.sh --smoke
 

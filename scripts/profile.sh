@@ -1,0 +1,49 @@
+#!/bin/sh
+# profile.sh — capture a CPU profile from a live run through the telemetry
+# debug endpoint. Builds jurysim, starts a long scenario with -debug-addr,
+# waits for /metrics to come up, pulls /debug/pprof/profile?seconds=N, and
+# writes the profile for `go tool pprof`.
+#
+#   scripts/profile.sh                                    # 10s of the default scenario
+#   PROF_SECONDS=30 OUT=/tmp/cpu.pprof scripts/profile.sh
+#   scripts/profile.sh -scheme cubic,jury -rate 200 -duration 600s
+#
+# Extra arguments replace the default jurysim scenario flags. Virtual time
+# runs much faster than wall time (~600 virtual seconds per wall second per
+# 100 Mbps-class flow pair is typical), so pick a -duration whose *wall*
+# time outlives the profile window; the default scenario lasts a few wall
+# minutes and is killed once the profile is captured.
+set -eu
+cd "$(dirname "$0")/.."
+
+PROF_SECONDS=${PROF_SECONDS:-10}
+OUT=${OUT:-cpu.pprof}
+ADDR=${ADDR:-127.0.0.1:8791}
+
+BINDIR=$(mktemp -d)
+go build -o "$BINDIR/jurysim" ./cmd/jurysim
+
+if [ $# -eq 0 ]; then
+    set -- -scheme cubic,jury -rate 100 -duration 36000s
+fi
+"$BINDIR/jurysim" "$@" -debug-addr "$ADDR" >/dev/null 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BINDIR"' EXIT
+
+i=0
+until curl -sf "http://$ADDR/metrics" >/dev/null 2>&1; do
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "profile.sh: jurysim exited before the debug endpoint came up" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "profile.sh: debug endpoint never came up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "profiling http://$ADDR for ${PROF_SECONDS}s..."
+curl -sf -o "$OUT" "http://$ADDR/debug/pprof/profile?seconds=$PROF_SECONDS"
+echo "wrote $OUT  (inspect: go tool pprof $OUT)"
