@@ -56,10 +56,11 @@ var experiments = []struct {
 
 func main() {
 	var (
-		id   = flag.String("exp", "", "experiment id (see -list)")
-		full = flag.Bool("full", false, "run at the paper's full scale (slow on one CPU)")
-		seed = flag.Uint64("seed", 1, "random seed")
-		list = flag.Bool("list", false, "list experiments")
+		id     = flag.String("exp", "", "experiment id (see -list)")
+		full   = flag.Bool("full", false, "run at the paper's full scale (slow on one CPU)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list experiments")
+		shards = flag.Int("shards", 1, "max shards for space-parallel scenario execution (1 = sequential; results are shard-count independent)")
 
 		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
 		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
@@ -73,6 +74,7 @@ func main() {
 	}
 	exp.Telemetry = hub
 	defer hub.Close()
+	exp.DefaultShards = *shards
 	if addr := hub.DebugAddr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/\n", addr)
 	}

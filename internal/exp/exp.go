@@ -37,6 +37,12 @@ import (
 // does one nil check and nothing else.
 var Telemetry *telemetry.Hub
 
+// DefaultShards is the shard count scenarios with Shards == 0 run at. The
+// binaries' -shards flag sets it; 1 (the default) is plain sequential
+// execution, so existing goldens and scripts are untouched unless a caller
+// opts in.
+var DefaultShards = 1
+
 // ForceCheck attaches a simcheck invariant checker to every scenario Run
 // executes, regardless of Scenario.Check. It is initialized from the
 // JURY_SIMCHECK environment variable so production figure runs can be
@@ -122,6 +128,13 @@ type Scenario struct {
 	// Check attaches a simcheck invariant checker to the run; Run fails if
 	// any invariant is violated. Overridden to true globally by ForceCheck.
 	Check bool
+	// Shards caps the shard count for space-parallel execution (see
+	// netsim.Network.RunSharded). 0 means DefaultShards; 1 runs sequentially.
+	// A single-bottleneck dumbbell always partitions into one shard, so the
+	// setting only changes execution — never results — for the scenarios this
+	// struct describes; multi-bottleneck topologies (RunMultiBottleneck,
+	// RunHuge) are where extra shards buy wall-clock time.
+	Shards int
 }
 
 // BufferBDP returns the byte size of n bandwidth-delay products for the
@@ -204,7 +217,19 @@ func Run(s Scenario) (*RunResult, error) {
 			telemetry.I64("seed", int64(s.Seed)))
 		started = time.Now()
 	}
-	n.Run(s.Horizon)
+	shards := s.Shards
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	if shards > 1 {
+		sr, err := n.RunSharded(s.Horizon, shards)
+		if err != nil {
+			return nil, fmt.Errorf("exp: scenario %q: %w", s.Name, err)
+		}
+		telemetry.RecordShards(hub, sr.Executed)
+	} else {
+		n.Run(s.Horizon)
+	}
 	res := &RunResult{
 		Scenario:    s,
 		Flows:       n.Flows(),

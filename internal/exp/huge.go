@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/cc/cubic"
+	"repro/internal/netsim"
+	"repro/internal/simcheck"
+)
+
+// This file builds the huge-scale stress scenario behind
+// BenchmarkScenarioHuge: a parking-lot mesh — a chain of bottleneck links
+// with thousands of single-segment flows plus a population of multi-segment
+// flows stitching the chain together — sized in the tens of thousands of
+// flows. It exists to exercise the sharded engine (netsim.RunSharded) at the
+// scale the sequential engine cannot reach in interactive time, and to give
+// bench.sh a stable events-per-second figure per shard count.
+
+// HugeFlowsEnv names the environment variable that overrides the default
+// flow population (10_000) of RunHuge when HugeOptions.TotalFlows is zero.
+// check.sh sets it low for smoke runs; a 100k-flow run is
+// JURY_HUGE_FLOWS=100000 with a multi-core machine and some patience.
+const HugeFlowsEnv = "JURY_HUGE_FLOWS"
+
+// HugeOptions parameterizes the parking-lot mesh.
+type HugeOptions struct {
+	// Segments is the number of chained bottleneck links (default 8). Every
+	// segment is a partition atom, so shard counts up to Segments scale.
+	Segments int
+	// TotalFlows is the flow population (default: JURY_HUGE_FLOWS, or 10_000).
+	// One in every spanStride flows crosses several consecutive segments; the
+	// rest are single-segment locals spread round-robin.
+	TotalFlows int
+	// Rate is each segment's capacity in bits/second (default 1 Gbps).
+	Rate float64
+	// Horizon is the simulated duration (default 2 s).
+	Horizon time.Duration
+	// Shards caps the shard count for RunSharded (default 1 = sequential).
+	Shards int
+	// Seed drives all randomness (pacing jitter).
+	Seed uint64
+	// Check attaches a simcheck invariant checker and records its digest.
+	Check bool
+	// CC overrides the per-flow controller factory (default: cubic, the
+	// cheapest full controller — the benchmark measures the engine, not the
+	// scheme).
+	CC func(seed uint64) cc.Algorithm
+}
+
+// spanStride makes every 16th flow a multi-segment one, so a sharded run has
+// steady cross-shard traffic without being dominated by it.
+const spanStride = 16
+
+func (o *HugeOptions) defaults() {
+	if o.Segments <= 0 {
+		o.Segments = 8
+	}
+	if o.TotalFlows <= 0 {
+		o.TotalFlows = 10_000
+		if v, err := strconv.Atoi(os.Getenv(HugeFlowsEnv)); err == nil && v > 0 {
+			o.TotalFlows = v
+		}
+	}
+	if o.Rate <= 0 {
+		o.Rate = 1e9
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 2 * time.Second
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.CC == nil {
+		o.CC = func(uint64) cc.Algorithm { return cubic.New() }
+	}
+}
+
+// HugeResult reports one huge-scale run.
+type HugeResult struct {
+	// FlowCount and Segments echo the built topology.
+	FlowCount int
+	Segments  int
+	// ShardCount is the number of shards the run actually used (a chain of n
+	// segments partitions into min(n, Shards) shards).
+	ShardCount int
+	// Events is the total number of discrete events executed; ExecutedPerShard
+	// breaks it down by shard.
+	Events           int64
+	ExecutedPerShard []int64
+	// Digest is the simcheck digest (zero unless Check was set).
+	Digest uint64
+}
+
+// BuildHuge assembles the parking-lot mesh without running it, so tests and
+// benchmarks can attach observers first. It returns the network and the
+// resolved options.
+func BuildHuge(o HugeOptions) (*netsim.Network, HugeOptions) {
+	o.defaults()
+	n := netsim.New(netsim.Config{Seed: o.Seed})
+	links := make([]*netsim.Link, o.Segments)
+	for i := range links {
+		links[i] = n.AddLink(netsim.LinkConfig{
+			Rate: o.Rate,
+			// Distinct positive delays keep every inter-segment edge cuttable
+			// and give the partition a nontrivial lookahead matrix.
+			Delay:       time.Duration(5+i%4) * time.Millisecond,
+			BufferBytes: int(o.Rate / 8 * 0.030), // ~1 BDP at 30 ms RTT
+		})
+	}
+	// Stagger starts across the first quarter of the horizon so the engine
+	// ramps up instead of detonating every flow at t=0.
+	stagger := o.Horizon / 4 / time.Duration(o.TotalFlows)
+	for i := 0; i < o.TotalFlows; i++ {
+		seed := o.Seed*1_000_003 + uint64(i) + 1
+		alg := o.CC(seed)
+		var path []*netsim.Link
+		if i%spanStride == 0 {
+			// Spanning flow: 2–4 consecutive segments starting at a rotating
+			// offset — the cross-shard workload.
+			span := 2 + (i/spanStride)%3
+			if span > o.Segments {
+				span = o.Segments
+			}
+			at := (i / spanStride) % (o.Segments - span + 1)
+			path = links[at : at+span]
+		} else {
+			path = links[i%o.Segments : i%o.Segments+1]
+		}
+		n.AddFlow(netsim.FlowConfig{
+			Name:  fmt.Sprintf("h%d", i),
+			Path:  path,
+			Start: time.Duration(i) * stagger,
+			CC:    func() cc.Algorithm { return alg },
+		})
+	}
+	return n, o
+}
+
+// RunHuge builds and runs the huge parking-lot mesh and reports event counts
+// (and, with Check, the simcheck digest). Same options, same shard count →
+// bit-identical results.
+func RunHuge(o HugeOptions) (*HugeResult, error) {
+	n, o := BuildHuge(o)
+	var ck *simcheck.Checker
+	if o.Check || ForceCheck {
+		ck = simcheck.Attach(n)
+	}
+	sr, err := n.RunSharded(o.Horizon, o.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("exp: huge: %w", err)
+	}
+	res := &HugeResult{
+		FlowCount:        o.TotalFlows,
+		Segments:         o.Segments,
+		ShardCount:       sr.Partition.Shards,
+		ExecutedPerShard: sr.Executed,
+	}
+	for _, e := range sr.Executed {
+		res.Events += e
+	}
+	if ck != nil {
+		ck.Finish()
+		if err := ck.Err(); err != nil {
+			return nil, fmt.Errorf("exp: huge: %w", err)
+		}
+		res.Digest = ck.Digest()
+	}
+	return res, nil
+}

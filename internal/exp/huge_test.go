@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/cc/vegas"
+)
+
+// canonicalScenarios mirror the two golden scenarios pinned in
+// internal/simcheck/testdata/golden.txt: a clean cubic dumbbell and a lossy
+// Jury dumbbell. The sharded-parity gate in check.sh runs them at -shards=1
+// and -shards=4 and requires identical digests.
+func canonicalScenarios() []Scenario {
+	bdp := func(rate float64, rtt time.Duration) int {
+		return int(rate / 8 * rtt.Seconds())
+	}
+	return []Scenario{
+		{
+			Name: "cubic-dumbbell", Rate: 24e6, OneWayDelay: 15 * time.Millisecond,
+			BufferBytes: bdp(24e6, 30*time.Millisecond), Horizon: 8 * time.Second, Seed: 41,
+			Flows: []FlowSpec{{Scheme: "cubic"}, {Scheme: "cubic", Start: time.Second}},
+			Check: true,
+		},
+		{
+			Name: "jury-lossy-dumbbell", Rate: 30e6, OneWayDelay: 10 * time.Millisecond,
+			BufferBytes: bdp(30e6, 20*time.Millisecond) * 3 / 2, LossRate: 0.003,
+			Horizon: 8 * time.Second, Seed: 43,
+			Flows: []FlowSpec{{Scheme: "jury"}, {Scheme: "jury", Start: time.Second}},
+			Check: true,
+		},
+	}
+}
+
+// TestShardedDigestParity is the acceptance gate for the sharded engine: the
+// two canonical golden scenarios must produce bit-identical digests at
+// -shards=1 and -shards=4. A dumbbell is one bottleneck — it partitions into
+// a single shard whatever the cap — so this pins the guarantee that asking
+// for shards never changes what a scenario computes.
+func TestShardedDigestParity(t *testing.T) {
+	for _, s := range canonicalScenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			seq := s
+			seq.Shards = 1
+			a, err := Run(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shd := s
+			shd.Shards = 4
+			b, err := Run(shd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Checked || !b.Checked {
+				t.Fatal("digest parity requires checked runs")
+			}
+			if a.Digest != b.Digest {
+				t.Fatalf("digest diverged: shards=1 %016x, shards=4 %016x", a.Digest, b.Digest)
+			}
+		})
+	}
+}
+
+// TestHugeShardedDigestParity exercises real multi-shard execution: a small
+// loss-free huge mesh (vegas keeps queues near-empty, so no packet drops on
+// foreign shards — the one documented divergence) must digest identically at
+// 1 and 4 shards.
+func TestHugeShardedDigestParity(t *testing.T) {
+	opt := HugeOptions{
+		Segments:   4,
+		TotalFlows: 96,
+		Rate:       200e6,
+		Horizon:    1500 * time.Millisecond,
+		Seed:       5,
+		Check:      true,
+		CC:         func(uint64) cc.Algorithm { return vegas.New() },
+	}
+	one := opt
+	one.Shards = 1
+	a, err := RunHuge(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := opt
+	four.Shards = 4
+	b, err := RunHuge(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShardCount != 1 || b.ShardCount != 4 {
+		t.Fatalf("shard counts %d/%d, want 1/4", a.ShardCount, b.ShardCount)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("event counts diverged: %d vs %d", a.Events, b.Events)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digest diverged: shards=1 %016x, shards=4 %016x", a.Digest, b.Digest)
+	}
+}
+
+// TestHugeBuildShape pins the mesh's structure: flow population, spanning
+// flows, and that the chain partitions into the requested shard count.
+func TestHugeBuildShape(t *testing.T) {
+	n, o := BuildHuge(HugeOptions{Segments: 6, TotalFlows: 200, Shards: 3, Seed: 1})
+	if got := len(n.Flows()); got != 200 {
+		t.Fatalf("built %d flows, want 200", got)
+	}
+	if got := len(n.Links()); got != o.Segments {
+		t.Fatalf("built %d links, want %d", got, o.Segments)
+	}
+	spanning := 0
+	for _, f := range n.Flows() {
+		if len(f.Config().Path) > 1 {
+			spanning++
+		}
+	}
+	if want := (200 + spanStride - 1) / spanStride; spanning != want {
+		t.Fatalf("%d spanning flows, want %d", spanning, want)
+	}
+	p, err := n.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards != 3 {
+		t.Fatalf("mesh partitioned into %d shards, want 3", p.Shards)
+	}
+	if p.Window <= 0 {
+		t.Fatalf("mesh shards exchange events, want positive window, got %v", p.Window)
+	}
+}
+
+// BenchmarkScenarioHuge measures the sharded engine on the parking-lot mesh
+// (JURY_HUGE_FLOWS flows, default 10_000) at 1/2/4/8 shards. The headline
+// metric is events/sec; speedup over shards=1 requires a multi-core runner —
+// on one core the extra shards only add synchronization overhead.
+func BenchmarkScenarioHuge(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				res, err := RunHuge(HugeOptions{Shards: shards, Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}

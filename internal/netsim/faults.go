@@ -103,12 +103,12 @@ func newLinkFaults(l *Link) *linkFaults {
 // loss detection engaged) or deferred (reordering).
 func (lf *linkFaults) admit(p *packet) bool {
 	l := lf.link
-	if lf.flap != nil && lf.flap.Down(l.net.eng.Now()) {
+	if lf.flap != nil && lf.flap.Down(l.eng.Now()) {
 		lf.stats.BlackoutDrops++
 		if tap := l.net.tap; tap != nil {
 			tap.FaultInjected(l, p.flow, FaultBlackout, p.size)
 		}
-		p.flow.onDrop(p)
+		l.dropToSender(p)
 		return false
 	}
 	if lf.ge != nil && lf.ge.Drop() {
@@ -116,7 +116,7 @@ func (lf *linkFaults) admit(p *packet) bool {
 		if tap := l.net.tap; tap != nil {
 			tap.FaultInjected(l, p.flow, FaultBurstLoss, p.size)
 		}
-		p.flow.onDrop(p)
+		l.dropToSender(p)
 		return false
 	}
 	if lf.cfg.DupProb > 0 && lf.dupRNG.Bernoulli(lf.cfg.DupProb) {
@@ -127,7 +127,7 @@ func (lf *linkFaults) admit(p *packet) bool {
 		// The copy joins the queue immediately (bypassing the fault
 		// pipeline) and is discarded at the far side of this link; its cost
 		// is the buffer space and serialization time it burns.
-		l.enqueue(p.flow.clonePacket(p))
+		l.enqueue(l.cloneDup(p))
 	}
 	if lf.cfg.ReorderProb > 0 && lf.reorderRNG.Bernoulli(lf.cfg.ReorderProb) {
 		lf.stats.Reordered++
@@ -138,7 +138,7 @@ func (lf *linkFaults) admit(p *packet) bool {
 		if d < time.Nanosecond {
 			d = time.Nanosecond
 		}
-		l.net.eng.ScheduleArgAfter(d, lf.reArriveFn, p)
+		l.eng.ScheduleArgAfter(d, lf.reArriveFn, p)
 		return false
 	}
 	return true

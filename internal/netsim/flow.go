@@ -38,6 +38,13 @@ type packet struct {
 	sentAt  time.Duration
 	hop     int
 	ctrlIdx int64 // send-interval index for interval-driven schemes
+	// lossDelay is the sender's loss-detection delay stamped at send time
+	// (srtt, or base RTT before any sample; ≥ 1ms). Sharded runs use it when
+	// a packet drops on a link owned by another shard: the link cannot read
+	// the flow's live srtt across shards, and the stamp is both race-free and
+	// ≥ the inter-shard lookahead (every RTT sample ≥ baseRTT ≥ any cut
+	// delay on the path, so srtt never falls below it).
+	lossDelay time.Duration
 	// dup marks a fault-injected duplicate copy: it occupies queue space and
 	// serialization time on one link but is invisible to the sender's
 	// accounting (never counted sent/acked/lost, discarded after departure).
@@ -100,6 +107,14 @@ type Flow struct {
 	rng *simcore.RNG
 	alg cc.Algorithm
 
+	// eng is the engine all of this flow's events run on: the network's
+	// single engine normally, the owning shard's engine in a sharded run
+	// (the flow is co-located with its first link, so handing a fresh packet
+	// to Path[0] never crosses shards). shard is the owning shard's index
+	// (0 in sequential runs).
+	eng   *simcore.Engine
+	shard int
+
 	pktSize    int
 	returnLeg  time.Duration // ack path delay: Σ link prop + ExtraOneWay
 	baseRTT    time.Duration // 2·(Σ link prop + ExtraOneWay)
@@ -147,6 +162,7 @@ func newFlow(n *Network, cfg FlowConfig, rng *simcore.RNG) *Flow {
 		net:       n,
 		cfg:       cfg,
 		rng:       rng,
+		eng:       n.eng,
 		alg:       cfg.CC(),
 		pktSize:   cfg.PacketSize,
 		returnLeg: prop + cfg.ExtraOneWay,
@@ -173,6 +189,11 @@ func (f *Flow) CC() cc.Algorithm { return f.alg }
 
 // BaseRTT reports the flow's propagation-only round-trip time.
 func (f *Flow) BaseRTT() time.Duration { return f.baseRTT }
+
+// Now reports the virtual time of the flow's own engine. Identical to
+// Network.Now in sequential runs; in sharded runs it is the only clock a
+// tap callback fired by this flow may read without racing other shards.
+func (f *Flow) Now() time.Duration { return f.eng.Now() }
 
 // Series returns the recorded time series.
 func (f *Flow) Series() []SeriesPoint { return f.series }
@@ -202,22 +223,22 @@ func (f *Flow) armStart() {
 		return
 	}
 	f.started = true
-	f.net.eng.Schedule(f.cfg.Start, f.start)
+	f.eng.Schedule(f.cfg.Start, f.start)
 }
 
 func (f *Flow) start() {
-	now := f.net.eng.Now()
+	now := f.eng.Now()
 	f.active = true
 	if f.cfg.Duration > 0 {
 		f.stopAt = f.cfg.Start + f.cfg.Duration
-		f.net.eng.Schedule(f.stopAt, f.stop)
+		f.eng.Schedule(f.stopAt, f.stop)
 	}
 	f.alg.Init(now)
 	if ia, ok := f.alg.(cc.IntervalAlgorithm); ok {
 		f.tracker = newIntervalTracker(ia)
-		f.net.eng.ScheduleArgAfter(f.tracker.interval, f.intervalFn, nil)
+		f.eng.ScheduleArgAfter(f.tracker.interval, f.intervalFn, nil)
 	}
-	f.net.eng.ScheduleArgAfter(f.net.cfg.RecordInterval, f.recordFn, nil)
+	f.eng.ScheduleArgAfter(f.net.cfg.RecordInterval, f.recordFn, nil)
 	f.trySend()
 }
 
@@ -233,17 +254,17 @@ func (f *Flow) intervalTick() {
 	if !f.active {
 		return
 	}
-	now := f.net.eng.Now()
+	now := f.eng.Now()
 	f.tracker.closeCurrent(f, now)
 	f.tracker.tryDeliver(f, now)
-	f.net.eng.ScheduleArgAfter(f.tracker.interval, f.intervalFn, nil)
+	f.eng.ScheduleArgAfter(f.tracker.interval, f.intervalFn, nil)
 }
 
 func (f *Flow) recordTick() {
 	if !f.active {
 		return
 	}
-	now := f.net.eng.Now()
+	now := f.eng.Now()
 	iv := f.net.cfg.RecordInterval
 	p := SeriesPoint{
 		T:             now,
@@ -258,7 +279,7 @@ func (f *Flow) recordTick() {
 	}
 	f.series = append(f.series, p)
 	f.rec.reset()
-	f.net.eng.ScheduleArgAfter(iv, f.recordFn, nil)
+	f.eng.ScheduleArgAfter(iv, f.recordFn, nil)
 }
 
 func lossRate(lost, acked int64) float64 {
@@ -273,7 +294,7 @@ func (f *Flow) trySend() {
 	if !f.active {
 		return
 	}
-	now := f.net.eng.Now()
+	now := f.eng.Now()
 	cwnd := f.alg.CWND()
 	if cwnd < 1 {
 		cwnd = 1
@@ -310,7 +331,7 @@ func (f *Flow) trySend() {
 
 func (f *Flow) armSendTimer(at time.Duration) {
 	f.sendTimer.Cancel()
-	f.sendTimer = f.net.eng.ScheduleArg(at, f.trySendFn, nil)
+	f.sendTimer = f.eng.ScheduleArg(at, f.trySendFn, nil)
 }
 
 // allocPacket takes a packet from the flow's free-list (or allocates one).
@@ -338,24 +359,28 @@ func (f *Flow) allocPacket(now time.Duration) *packet {
 	return p
 }
 
-// clonePacket takes a free-list packet shaped like p, marked as a
-// fault-injected duplicate (see the dup field).
-func (f *Flow) clonePacket(p *packet) *packet {
-	d := f.allocPacket(p.sentAt)
-	d.size = p.size
-	d.hop = p.hop
-	d.ctrlIdx = p.ctrlIdx
-	d.dup = true
-	return d
-}
-
 // releasePacket recycles a terminated packet (ACKed or loss-detected).
 func (f *Flow) releasePacket(p *packet) {
 	f.pktFree = append(f.pktFree, p)
 }
 
+// lossDetectDelay is the time between a drop and the sender noticing it
+// (emulating duplicate-ACK detection): the smoothed RTT, the base RTT before
+// any sample, floored at 1ms.
+func (f *Flow) lossDetectDelay() time.Duration {
+	delay := f.srtt
+	if delay == 0 {
+		delay = f.baseRTT
+	}
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	return delay
+}
+
 func (f *Flow) sendPacket(now time.Duration) {
 	p := f.allocPacket(now)
+	p.lossDelay = f.lossDetectDelay()
 	f.inflight++
 	if f.tracker != nil {
 		p.ctrlIdx = f.tracker.onSend(p.size)
@@ -368,25 +393,34 @@ func (f *Flow) sendPacket(now time.Duration) {
 		tap.PacketSent(f, p.size)
 	}
 	if f.cfg.ExtraOneWay > 0 {
-		f.net.eng.ScheduleArgAfter(f.cfg.ExtraOneWay, f.advanceFn, p)
+		f.eng.ScheduleArgAfter(f.cfg.ExtraOneWay, f.advanceFn, p)
 	} else {
 		f.advance(p)
 	}
 }
 
 // advance moves a packet to its next hop, or delivers it and schedules the
-// ACK's return once it has cleared the last link.
+// ACK's return once it has cleared the last link. It always runs on the
+// shard owning the link the packet just arrived at (cross-shard hops are
+// routed by Link.finishTx), so the arrive call below never crosses shards.
 func (f *Flow) advance(p *packet) {
 	p.hop++
 	if p.hop < len(f.cfg.Path) {
 		f.cfg.Path[p.hop].arrive(p)
 		return
 	}
-	f.net.eng.ScheduleArgAfter(f.returnLeg, f.onAckFn, p)
+	// Delivered. The ACK travels the return leg back to the sender; in a
+	// sharded run the sender may live on another shard (the return leg spans
+	// the whole path, so it is always ≥ the inter-shard lookahead).
+	if last := f.cfg.Path[len(f.cfg.Path)-1]; last.shard != f.shard {
+		last.xs.Send(f.shard, last.eng.Now()+f.returnLeg, f.onAckFn, p)
+		return
+	}
+	f.eng.ScheduleArgAfter(f.returnLeg, f.onAckFn, p)
 }
 
 func (f *Flow) onAck(p *packet) {
-	now := f.net.eng.Now()
+	now := f.eng.Now()
 	sentAt := p.sentAt
 	size := p.size
 	rtt := now - sentAt
@@ -420,18 +454,12 @@ func (f *Flow) onAck(p *packet) {
 	}
 }
 
-// onDrop is called by a link when it discards one of this flow's packets.
-// The sender learns about the loss one (estimated) RTT later, emulating
-// duplicate-ACK detection.
+// onDrop is called by a link on the flow's own shard when it discards one
+// of this flow's packets. The sender learns about the loss one (estimated)
+// RTT later, emulating duplicate-ACK detection. Cross-shard drops bypass
+// this and use the packet's send-time lossDelay stamp (see Link.dropToSender).
 func (f *Flow) onDrop(p *packet) {
-	delay := f.srtt
-	if delay == 0 {
-		delay = f.baseRTT
-	}
-	if delay < time.Millisecond {
-		delay = time.Millisecond
-	}
-	f.net.eng.ScheduleArgAfter(delay, f.onLossFn, p)
+	f.eng.ScheduleArgAfter(f.lossDetectDelay(), f.onLossFn, p)
 }
 
 func (f *Flow) onLossDetected(p *packet) {
@@ -449,7 +477,7 @@ func (f *Flow) onLossDetected(p *packet) {
 	if !f.active {
 		return
 	}
-	now := f.net.eng.Now()
+	now := f.eng.Now()
 	f.rec.lostPackets++
 	f.total.lostPackets++
 	f.alg.OnLoss(cc.Loss{Now: now, SentAt: sentAt, Bytes: size})
@@ -461,7 +489,7 @@ func (f *Flow) onLossDetected(p *packet) {
 
 // Stats summarizes the flow so far.
 func (f *Flow) Stats() FlowStats {
-	now := f.net.eng.Now()
+	now := f.eng.Now()
 	end := now
 	if f.stopAt > 0 && f.stopAt < end {
 		end = f.stopAt

@@ -47,10 +47,24 @@ type Link struct {
 	cfg LinkConfig
 	rng *simcore.RNG
 
+	// eng is the engine this link's events run on: the network's single
+	// engine normally, the owning shard's engine in a sharded run. shard is
+	// the owning shard's index and xs its cross-shard send handle (nil in
+	// sequential runs; only consulted when a destination shard differs).
+	eng   *simcore.Engine
+	shard int
+	xs    *simcore.Shard
+
 	queue  []*packet
 	qHead  int
 	qBytes int64
 	busy   bool
+
+	// Duplicate copies (fault injection) are pooled per link, not per flow:
+	// in a sharded run the copy is created and destroyed on this link's
+	// shard, and the owning flow's free-list may belong to another shard.
+	dupFree []*packet
+	dupSlab []packet
 
 	// finishFn is the long-lived serialization-done callback; scheduling it
 	// via ScheduleArg avoids allocating a closure per transmitted packet.
@@ -66,7 +80,7 @@ type Link struct {
 }
 
 func newLink(n *Network, cfg LinkConfig, rng *simcore.RNG) *Link {
-	l := &Link{net: n, cfg: cfg, rng: rng}
+	l := &Link{net: n, cfg: cfg, rng: rng, eng: n.eng}
 	if cfg.BufferBytes > 0 {
 		// Size the queue for a buffer full of minimum-size packets, doubled
 		// because the lazy head compaction in finishTx lets the live window
@@ -88,6 +102,11 @@ func (l *Link) Stats() LinkStats { return l.stats }
 
 // QueueBytes reports the current queue occupancy in bytes.
 func (l *Link) QueueBytes() int64 { return l.qBytes }
+
+// Now reports the virtual time of the link's own engine. Identical to
+// Network.Now in sequential runs; in sharded runs it is the only clock a
+// tap callback fired by this link may read without racing other shards.
+func (l *Link) Now() time.Duration { return l.eng.Now() }
 
 // rateAt reports the capacity in bits/second at virtual time t.
 func (l *Link) rateAt(t time.Duration) float64 {
@@ -163,17 +182,62 @@ func (l *Link) enqueue(p *packet) {
 // counted as sent, so they are recycled directly.
 func (l *Link) dropped(p *packet) {
 	if p.dup {
-		p.flow.releasePacket(p)
+		l.releaseDup(p)
 		return
 	}
-	p.flow.onDrop(p)
+	l.dropToSender(p)
+}
+
+// dropToSender engages the sender's loss detection for a packet this link
+// discarded. When the flow lives on this shard the delay comes from its
+// live srtt exactly as in a sequential run; when it lives on another shard
+// the link may not read that state, so the detection event crosses with the
+// delay stamped on the packet at send time (see packet.lossDelay — always
+// ≥ the inter-shard lookahead).
+func (l *Link) dropToSender(p *packet) {
+	f := p.flow
+	if f.shard != l.shard {
+		l.xs.Send(f.shard, l.eng.Now()+p.lossDelay, f.onLossFn, p)
+		return
+	}
+	f.onDrop(p)
+}
+
+// cloneDup takes a pooled packet shaped like p, marked as a fault-injected
+// duplicate (see packet.dup).
+func (l *Link) cloneDup(p *packet) *packet {
+	var d *packet
+	if n := len(l.dupFree); n > 0 {
+		d = l.dupFree[n-1]
+		l.dupFree[n-1] = nil
+		l.dupFree = l.dupFree[:n-1]
+	} else {
+		if len(l.dupSlab) == 0 {
+			l.dupSlab = make([]packet, 64)
+		}
+		d = &l.dupSlab[0]
+		l.dupSlab = l.dupSlab[1:]
+	}
+	d.flow = p.flow
+	d.size = p.size
+	d.sentAt = p.sentAt
+	d.hop = p.hop
+	d.ctrlIdx = p.ctrlIdx
+	d.lossDelay = p.lossDelay
+	d.dup = true
+	return d
+}
+
+// releaseDup recycles a duplicate copy once the link is done with it.
+func (l *Link) releaseDup(p *packet) {
+	l.dupFree = append(l.dupFree, p)
 }
 
 // startTx begins serializing the packet at the head of the queue.
 func (l *Link) startTx() {
 	p := l.queue[l.qHead]
 	l.busy = true
-	rate := l.rateAt(l.net.eng.Now())
+	rate := l.rateAt(l.eng.Now())
 	if rate < 1 {
 		rate = 1 // avoid division blow-ups on pathological traces
 	}
@@ -181,7 +245,7 @@ func (l *Link) startTx() {
 	if txDur < time.Nanosecond {
 		txDur = time.Nanosecond
 	}
-	l.net.eng.ScheduleArgAfter(txDur, l.finishFn, p)
+	l.eng.ScheduleArgAfter(txDur, l.finishFn, p)
 }
 
 // finishTx completes serialization: the packet leaves the queue and enters
@@ -204,7 +268,7 @@ func (l *Link) finishTx(p *packet) {
 		// The receiver side of the link discards duplicate copies; the
 		// copy's whole cost — buffer space and serialization time — has been
 		// paid by now.
-		p.flow.releasePacket(p)
+		l.releaseDup(p)
 	} else {
 		prop := l.cfg.Delay
 		if l.cfg.JitterStd > 0 {
@@ -217,7 +281,19 @@ func (l *Link) finishTx(p *packet) {
 		if l.faults != nil {
 			prop += l.faults.delaySpike(p)
 		}
-		l.net.eng.ScheduleArgAfter(prop, p.flow.advanceFn, p)
+		// The packet's next arrival belongs to the next hop's shard; this
+		// link's propagation delay is exactly the lookahead the partitioner
+		// guaranteed for that cut, so the cross-send never violates the
+		// coordinator's window.
+		dst := l.shard
+		if nh := p.hop + 1; nh < len(p.flow.cfg.Path) {
+			dst = p.flow.cfg.Path[nh].shard
+		}
+		if dst != l.shard {
+			l.xs.Send(dst, l.eng.Now()+prop, p.flow.advanceFn, p)
+		} else {
+			l.eng.ScheduleArgAfter(prop, p.flow.advanceFn, p)
+		}
 	}
 
 	if l.qHead < len(l.queue) {

@@ -180,14 +180,14 @@ func (n *Network) Flows() []*Flow { return n.flows }
 // Links returns the registered links in creation order.
 func (n *Network) Links() []*Link { return n.links }
 
-// Run executes the simulation until the horizon. It may be called multiple
-// times with increasing horizons.
-func (n *Network) Run(horizon time.Duration) {
+// Run executes the simulation until the horizon and returns the number of
+// events executed. It may be called multiple times with increasing horizons.
+func (n *Network) Run(horizon time.Duration) int {
 	for _, f := range n.flows {
 		f.armStart()
 		f.reserveSeries(horizon)
 	}
-	n.eng.Run(horizon)
+	return n.eng.Run(horizon)
 }
 
 // Validate performs basic sanity checks and returns an error describing the

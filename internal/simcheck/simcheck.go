@@ -34,6 +34,7 @@ package simcheck
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/cc"
@@ -91,11 +92,19 @@ func (a *linkAcct) hasFaults() bool {
 
 // Checker verifies runtime invariants of one Network. Attach it before Run;
 // call Finish after the run for end-of-run checks and the final verdict.
+//
+// The checker is safe under sharded execution (netsim.Network.RunSharded):
+// the per-flow and per-link ledgers are created up front at Attach and each
+// is only ever written by the shard owning its object, the event-stream
+// fold runs on the coordinator's single merge goroutine, and the shared
+// violation record is the one mutex-guarded path (cold — it only runs when
+// an invariant actually breaks).
 type Checker struct {
 	net   *netsim.Network
 	flows map[*netsim.Flow]*flowAcct
 	links map[*netsim.Link]*linkAcct
 
+	mu         sync.Mutex // guards violations + nViolation
 	violations []Violation
 	nViolation int64
 
@@ -105,28 +114,41 @@ type Checker struct {
 }
 
 // Attach installs a Checker on the network as its Tap and engine event hook,
-// replacing any previous ones.
+// replacing any previous ones. Flows and links added after Attach are picked
+// up lazily, which is only safe for sequential runs; sharded runs need the
+// full topology in place first (netsim builds networks fully before running,
+// so this is the natural order anyway).
 func Attach(n *netsim.Network) *Checker {
 	c := &Checker{
 		net:    n,
-		flows:  make(map[*netsim.Flow]*flowAcct),
-		links:  make(map[*netsim.Link]*linkAcct),
+		flows:  make(map[*netsim.Flow]*flowAcct, len(n.Flows())),
+		links:  make(map[*netsim.Link]*linkAcct, len(n.Links())),
 		stream: fnvOffset,
+	}
+	for _, f := range n.Flows() {
+		c.flows[f] = &flowAcct{}
+	}
+	for _, l := range n.Links() {
+		c.links[l] = &linkAcct{}
 	}
 	n.SetTap(c)
 	n.Engine().SetEventHook(c.onEvent)
 	return c
 }
 
-// violate records a breach (detail formatting is skipped once the record cap
-// is reached, keeping broken runs cheap).
-func (c *Checker) violate(rule, format string, args ...any) {
+// violate records a breach at virtual time at (detail formatting is skipped
+// once the record cap is reached, keeping broken runs cheap). The time comes
+// from the caller because under sharded execution only the clock of the
+// shard that observed the breach may be read.
+func (c *Checker) violate(at time.Duration, rule, format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.nViolation++
 	if len(c.violations) >= maxRecorded {
 		return
 	}
 	c.violations = append(c.violations, Violation{
-		Time:   c.net.Now(),
+		Time:   at,
 		Rule:   rule,
 		Detail: fmt.Sprintf(format, args...),
 	})
@@ -153,7 +175,7 @@ func (c *Checker) link(l *netsim.Link) *linkAcct {
 // onEvent is the simcore hook: clock monotonicity plus the stream digest.
 func (c *Checker) onEvent(at time.Duration, seq uint64) {
 	if at < c.lastEventAt {
-		c.violate("clock", "event at %v after clock reached %v", at, c.lastEventAt)
+		c.violate(at, "clock", "event at %v after clock reached %v", at, c.lastEventAt)
 	}
 	c.lastEventAt = at
 	c.events++
@@ -164,11 +186,11 @@ func (c *Checker) onEvent(at time.Duration, seq uint64) {
 func (c *Checker) checkControl(f *netsim.Flow) {
 	cwnd := f.CC().CWND()
 	if math.IsNaN(cwnd) || math.IsInf(cwnd, 0) || cwnd < 0 {
-		c.violate("control", "flow %s cwnd %v", f.Name(), cwnd)
+		c.violate(f.Now(), "control", "flow %s cwnd %v", f.Name(), cwnd)
 	}
 	rate := f.CC().PacingRate()
 	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
-		c.violate("control", "flow %s pacing rate %v", f.Name(), rate)
+		c.violate(f.Now(), "control", "flow %s pacing rate %v", f.Name(), rate)
 	}
 }
 
@@ -177,7 +199,7 @@ func (c *Checker) PacketSent(f *netsim.Flow, bytes int) {
 	a := c.flow(f)
 	a.sent++
 	if bytes <= 0 {
-		c.violate("conservation", "flow %s sent packet of %d bytes", f.Name(), bytes)
+		c.violate(f.Now(), "conservation", "flow %s sent packet of %d bytes", f.Name(), bytes)
 	}
 	c.checkControl(f)
 }
@@ -187,11 +209,11 @@ func (c *Checker) PacketAcked(f *netsim.Flow, bytes int, rtt time.Duration) {
 	a := c.flow(f)
 	a.acked++
 	if inflight := a.sent - a.acked - a.lost; inflight < 0 {
-		c.violate("conservation", "flow %s in-flight %d after ack (sent %d acked %d lost %d)",
+		c.violate(f.Now(), "conservation", "flow %s in-flight %d after ack (sent %d acked %d lost %d)",
 			f.Name(), inflight, a.sent, a.acked, a.lost)
 	}
 	if base := f.BaseRTT(); rtt < base {
-		c.violate("rtt-floor", "flow %s RTT %v below propagation floor %v", f.Name(), rtt, base)
+		c.violate(f.Now(), "rtt-floor", "flow %s RTT %v below propagation floor %v", f.Name(), rtt, base)
 	}
 }
 
@@ -200,7 +222,7 @@ func (c *Checker) PacketLost(f *netsim.Flow, bytes int) {
 	a := c.flow(f)
 	a.lost++
 	if inflight := a.sent - a.acked - a.lost; inflight < 0 {
-		c.violate("conservation", "flow %s in-flight %d after loss (sent %d acked %d lost %d)",
+		c.violate(f.Now(), "conservation", "flow %s in-flight %d after loss (sent %d acked %d lost %d)",
 			f.Name(), inflight, a.sent, a.acked, a.lost)
 	}
 }
@@ -210,13 +232,13 @@ func (c *Checker) PacketLost(f *netsim.Flow, bytes int) {
 func (c *Checker) checkQueue(l *netsim.Link, a *linkAcct) {
 	q := l.QueueBytes()
 	if q != a.qBytes {
-		c.violate("queue", "link queue %d B but ledger says %d B", q, a.qBytes)
+		c.violate(l.Now(), "queue", "link queue %d B but ledger says %d B", q, a.qBytes)
 	}
 	if q < 0 {
-		c.violate("queue", "link queue %d B negative", q)
+		c.violate(l.Now(), "queue", "link queue %d B negative", q)
 	}
 	if capBytes := int64(l.Config().BufferBytes); q > capBytes {
-		c.violate("queue", "link queue %d B exceeds capacity %d B", q, capBytes)
+		c.violate(l.Now(), "queue", "link queue %d B exceeds capacity %d B", q, capBytes)
 	}
 }
 
@@ -268,13 +290,13 @@ func (c *Checker) FaultInjected(l *netsim.Link, f *netsim.Flow, kind netsim.Faul
 	case netsim.FaultJitter:
 		a.jitterSpikes++
 	default:
-		c.violate("faults", "unknown fault kind %d on flow %s", kind, f.Name())
+		c.violate(l.Now(), "faults", "unknown fault kind %d on flow %s", kind, f.Name())
 	}
 	if bytes <= 0 {
-		c.violate("faults", "%v fault on flow %s with %d bytes", kind, f.Name(), bytes)
+		c.violate(l.Now(), "faults", "%v fault on flow %s with %d bytes", kind, f.Name(), bytes)
 	}
 	if l.Config().Faults == nil {
-		c.violate("faults", "%v fault on a link with no fault config", kind)
+		c.violate(l.Now(), "faults", "%v fault on a link with no fault config", kind)
 	}
 }
 
@@ -285,17 +307,17 @@ func (c *Checker) IntervalDelivered(f *netsim.Flow, s cc.IntervalStats) {
 	a.intervals++
 	if s.AckedPackets < 0 || s.LostPackets < 0 || s.SentPackets < 0 ||
 		s.AckedBytes < 0 || s.SentBytes < 0 {
-		c.violate("interval", "flow %s negative interval counters %+v", f.Name(), s)
+		c.violate(f.Now(), "interval", "flow %s negative interval counters %+v", f.Name(), s)
 	}
 	if s.AckedPackets+s.LostPackets > s.SentPackets {
-		c.violate("interval", "flow %s interval acked %d + lost %d > sent %d (stale feedback misattributed)",
+		c.violate(f.Now(), "interval", "flow %s interval acked %d + lost %d > sent %d (stale feedback misattributed)",
 			f.Name(), s.AckedPackets, s.LostPackets, s.SentPackets)
 	}
 	if s.AvgRTT < 0 || s.MinRTT < 0 {
-		c.violate("interval", "flow %s negative interval RTT (avg %v min %v)", f.Name(), s.AvgRTT, s.MinRTT)
+		c.violate(f.Now(), "interval", "flow %s negative interval RTT (avg %v min %v)", f.Name(), s.AvgRTT, s.MinRTT)
 	}
 	if s.AckedPackets > 0 && s.AvgRTT < s.MinRTT {
-		c.violate("interval", "flow %s interval avg RTT %v below min %v", f.Name(), s.AvgRTT, s.MinRTT)
+		c.violate(f.Now(), "interval", "flow %s interval avg RTT %v below min %v", f.Name(), s.AvgRTT, s.MinRTT)
 	}
 }
 
@@ -316,14 +338,14 @@ func (c *Checker) Finish() []Violation {
 		}
 		st := f.Stats()
 		if a.sent != st.SentPackets {
-			c.violate("conservation", "flow %s checker sent %d != stats sent %d", f.Name(), a.sent, st.SentPackets)
+			c.violate(f.Now(), "conservation", "flow %s checker sent %d != stats sent %d", f.Name(), a.sent, st.SentPackets)
 		}
 		if inflight := a.sent - a.acked - a.lost; inflight < 0 {
-			c.violate("conservation", "flow %s final in-flight %d", f.Name(), inflight)
+			c.violate(f.Now(), "conservation", "flow %s final in-flight %d", f.Name(), inflight)
 		}
 		if f.Config().Duration == 0 {
 			if a.acked != st.AckedPackets || a.lost != st.LostPackets {
-				c.violate("conservation", "flow %s checker acked/lost %d/%d != stats %d/%d",
+				c.violate(f.Now(), "conservation", "flow %s checker acked/lost %d/%d != stats %d/%d",
 					f.Name(), a.acked, a.lost, st.AckedPackets, st.LostPackets)
 			}
 		}
@@ -334,13 +356,13 @@ func (c *Checker) Finish() []Violation {
 			continue
 		}
 		if got := a.enqBytes - a.depBytes; got != l.QueueBytes() {
-			c.violate("queue", "link final queue %d B but enqueued-departed = %d B", l.QueueBytes(), got)
+			c.violate(l.Now(), "queue", "link final queue %d B but enqueued-departed = %d B", l.QueueBytes(), got)
 		}
 		if fs := l.FaultStats(); fs != (netsim.FaultStats{}) || a.hasFaults() {
 			if fs.BurstDrops != a.burstDrops || fs.BlackoutDrops != a.blackoutDrops ||
 				fs.Reordered != a.reordered || fs.Duplicated != a.duplicated ||
 				fs.JitterSpikes != a.jitterSpikes {
-				c.violate("faults", "link fault stats %+v but ledger counted burst %d blackout %d reorder %d dup %d jitter %d",
+				c.violate(l.Now(), "faults", "link fault stats %+v but ledger counted burst %d blackout %d reorder %d dup %d jitter %d",
 					fs, a.burstDrops, a.blackoutDrops, a.reordered, a.duplicated, a.jitterSpikes)
 			}
 		}
@@ -351,7 +373,7 @@ func (c *Checker) Finish() []Violation {
 			// and one packet may straddle the end of the run.
 			budget := cfg.Rate*now.Seconds()*(1+1e-6) + float64(2*a.maxPkt*8)
 			if delivered := float64(l.Stats().DeliveredBytes) * 8; delivered > budget {
-				c.violate("capacity", "link delivered %.0f bits > capacity budget %.0f bits over %v",
+				c.violate(l.Now(), "capacity", "link delivered %.0f bits > capacity budget %.0f bits over %v",
 					delivered, budget, now)
 			}
 		}

@@ -1,0 +1,324 @@
+package simcore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file implements conservative space-parallel discrete-event execution
+// (classic null-message / time-window DES): a Coordinator advances a set of
+// Engines — one per topology shard, each on its own goroutine — in lock-step
+// half-open windows [W, W+L), where the window L is the minimum inter-shard
+// lookahead (for the network emulator: the smallest propagation delay of any
+// link whose far end lives in another shard). Any event one shard emits for
+// another therefore fires at least one full window in the future, so shards
+// never need to see each other's state mid-window; cross-shard events are
+// exchanged only at window barriers.
+//
+// Determinism: within a shard, execution is the ordinary sequential engine.
+// Across shards, everything that crosses a barrier is ordered by a total
+// key before it touches a destination engine — injected events by
+// (at, schedule time, source shard, per-source emission order), and the
+// observed event stream by (at, shard) — so a sharded run is bit-reproducible
+// regardless
+// of goroutine scheduling, and its merged event stream folds to the same
+// digest as the sequential run of the same scenario (the stream digest
+// folds firing times in nondecreasing order, which both executions share;
+// see internal/simcheck).
+
+// xev is one cross-shard event waiting at a barrier.
+type xev struct {
+	at      time.Duration
+	schedAt time.Duration // emission virtual time, preserved across the barrier
+	src     int32         // emitting shard — tie-break after (at, schedAt)
+	ord     uint32        // per-source emission order — final tie-break
+	fn      func(any)
+	arg     any
+}
+
+// evRec is one executed event buffered for merged hook delivery.
+type evRec struct {
+	at  time.Duration
+	seq uint64
+}
+
+// xevSorter orders barrier injections by (at, schedAt, src, ord) — the same
+// (at, schedAt) key the destination heap sorts by, then a deterministic
+// source tie-break so insertion order (which decides residual ties) never
+// depends on goroutine scheduling. It is a named pointer receiver so
+// sort.Sort gets an already-boxed interface value and the per-window sort
+// allocates nothing.
+type xevSorter struct{ v []xev }
+
+func (s *xevSorter) Len() int      { return len(s.v) }
+func (s *xevSorter) Swap(i, j int) { s.v[i], s.v[j] = s.v[j], s.v[i] }
+func (s *xevSorter) Less(i, j int) bool {
+	a, b := &s.v[i], &s.v[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.ord < b.ord
+}
+
+// Shard is one partition's handle: its private engine plus the outgoing
+// cross-shard buffers. Exactly one goroutine (the shard's worker, inside
+// Coordinator.Run) touches a Shard during a window; the coordinator drains
+// it at barriers. All buffers are reused window to window, so steady-state
+// cross-shard traffic allocates nothing.
+type Shard struct {
+	id  int
+	eng *Engine
+	out [][]xev // per destination shard
+	win []evRec // events executed this window, for merged hook delivery
+	ord uint32  // emission counter for deterministic tie-breaks
+
+	executed int64
+	work     chan time.Duration
+}
+
+// ID returns the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Engine returns the shard's private engine.
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// Send queues fn(arg) to fire at absolute virtual time at on shard dst. The
+// event is injected into dst's engine at the next window barrier; at must be
+// no earlier than the end of the current window (emission time plus the
+// inter-shard lookahead guarantees this), which the coordinator verifies at
+// the barrier. Call only from the emitting shard's own events.
+func (s *Shard) Send(dst int, at time.Duration, fn func(any), arg any) {
+	s.out[dst] = append(s.out[dst], xev{
+		at: at, schedAt: s.eng.Now(),
+		src: int32(s.id), ord: s.ord,
+		fn: fn, arg: arg,
+	})
+	s.ord++
+}
+
+// Coordinator advances a fixed set of shards in conservative lock-step
+// windows. Construct with NewCoordinator; Run may be called once.
+type Coordinator struct {
+	shards []*Shard
+	window time.Duration
+
+	// merged is the event hook stolen from the primary engine (shard 0) at
+	// construction: the coordinator feeds it the k-way time-ordered merge of
+	// every shard's window stream, so observers attached to the primary
+	// engine (the simcheck checker, telemetry) see one globally ordered
+	// event stream exactly as they would in a sequential run.
+	merged func(at time.Duration, seq uint64)
+
+	inbox  xevSorter // per-destination injection scratch, reused
+	cursor []int     // k-way merge cursors, reused
+	done   chan int
+	ran    bool
+}
+
+// NewCoordinator wraps engines (one per shard) for windowed execution.
+// window is the global lookahead: every cross-shard Send must land at least
+// one window after its emission. window <= 0 means the shards provably never
+// exchange events, and each runs straight to the horizon in one window. Any
+// event hook installed on engines[0] is taken over and fed the merged
+// stream; hooks on other engines are rejected, since their events would
+// bypass the merge.
+func NewCoordinator(engines []*Engine, window time.Duration) *Coordinator {
+	if len(engines) == 0 {
+		panic("simcore: NewCoordinator with no engines")
+	}
+	c := &Coordinator{
+		window: window,
+		merged: engines[0].EventHook(),
+		cursor: make([]int, len(engines)),
+		done:   make(chan int, len(engines)),
+	}
+	for i, eng := range engines {
+		if i > 0 && eng.EventHook() != nil {
+			panic("simcore: NewCoordinator: event hook on a non-primary engine")
+		}
+		s := &Shard{
+			id:   i,
+			eng:  eng,
+			out:  make([][]xev, len(engines)),
+			work: make(chan time.Duration),
+		}
+		if c.merged != nil {
+			s := s
+			eng.SetEventHook(func(at time.Duration, seq uint64) {
+				s.win = append(s.win, evRec{at: at, seq: seq})
+			})
+		}
+		c.shards = append(c.shards, s)
+	}
+	return c
+}
+
+// Shard returns shard i's handle (for wiring emitters before Run).
+func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// ExecutedPerShard returns how many events each shard executed. Valid after
+// Run returns.
+func (c *Coordinator) ExecutedPerShard() []int64 {
+	out := make([]int64, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.executed
+	}
+	return out
+}
+
+// Run executes all shards to the horizon (events at exactly the horizon
+// fire, matching Engine.Run) and returns the total number of events
+// executed. Afterwards every engine's clock sits at exactly the horizon and
+// the primary engine's original event hook is restored.
+func (c *Coordinator) Run(horizon time.Duration) int64 {
+	if c.ran {
+		panic("simcore: Coordinator.Run re-entered")
+	}
+	c.ran = true
+
+	for _, s := range c.shards {
+		s := s
+		go func() {
+			for stop := range s.work {
+				s.executed += int64(s.eng.RunUntil(stop))
+				c.done <- s.id
+			}
+		}()
+	}
+
+	stop := horizon + 1 // exclusive bound: events at exactly horizon fire
+	if stop < horizon {
+		stop = horizon // Duration overflow guard; unreachable in practice
+	}
+	window := c.window
+	if window <= 0 {
+		// No cross-shard edges exist: one window to the end, fully parallel.
+		window = stop
+	}
+	w := time.Duration(0)
+	for {
+		// Skip idle stretches: no shard has an event before m, and with no
+		// events there can be no cross-shard sends, so jumping the window
+		// start to m is free and keeps sparse phases (startup, drained
+		// endgames) from costing one barrier per empty window.
+		m, any := c.minNextAt()
+		if !any || m >= stop {
+			break
+		}
+		if m > w {
+			w = m
+		}
+		end := w + window
+		if end > stop || end < w {
+			end = stop
+		}
+		for _, s := range c.shards {
+			s.work <- end
+		}
+		for range c.shards {
+			<-c.done
+		}
+		c.deliverMerged()
+		c.exchange(end)
+		w = end
+	}
+	for _, s := range c.shards {
+		close(s.work)
+		if s.eng.Now() < horizon {
+			s.eng.AdvanceTo(horizon)
+		}
+	}
+	var total int64
+	for _, s := range c.shards {
+		total += s.executed
+	}
+	if c.merged != nil {
+		c.shards[0].eng.SetEventHook(c.merged)
+	}
+	return total
+}
+
+// minNextAt reports the earliest queued event across all shards.
+func (c *Coordinator) minNextAt() (time.Duration, bool) {
+	var m time.Duration
+	any := false
+	for _, s := range c.shards {
+		if at, ok := s.eng.NextAt(); ok && (!any || at < m) {
+			m, any = at, true
+		}
+	}
+	return m, any
+}
+
+// deliverMerged feeds the window's executed events to the stolen primary
+// hook in global (at, shard) order. Each shard's buffer is already
+// nondecreasing in at, so a k-way merge suffices; ties across shards are
+// broken by shard id, which keeps delivery deterministic (equal-time events
+// fold identically into the stream digest in any order).
+func (c *Coordinator) deliverMerged() {
+	if c.merged == nil {
+		return
+	}
+	for i := range c.cursor {
+		c.cursor[i] = 0
+	}
+	for {
+		best := -1
+		var bestAt time.Duration
+		for i, s := range c.shards {
+			if j := c.cursor[i]; j < len(s.win) {
+				if best < 0 || s.win[j].at < bestAt {
+					best, bestAt = i, s.win[j].at
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rec := c.shards[best].win[c.cursor[best]]
+		c.cursor[best]++
+		c.merged(rec.at, rec.seq)
+	}
+	for _, s := range c.shards {
+		s.win = s.win[:0]
+	}
+}
+
+// exchange drains every shard's outgoing buffers and injects the events
+// into their destination engines in (at, schedAt, src, ord) order. end is the window
+// boundary just executed: every injection must fire at or after it, or the
+// emitting shard under-estimated its lookahead — a programming error worth
+// dying loudly for, because the destination may already have executed past
+// the event's time.
+func (c *Coordinator) exchange(end time.Duration) {
+	for dst, d := range c.shards {
+		c.inbox.v = c.inbox.v[:0]
+		for _, src := range c.shards {
+			buf := src.out[dst]
+			if len(buf) == 0 {
+				continue
+			}
+			c.inbox.v = append(c.inbox.v, buf...)
+			src.out[dst] = buf[:0]
+		}
+		if len(c.inbox.v) == 0 {
+			continue
+		}
+		sort.Sort(&c.inbox)
+		for i := range c.inbox.v {
+			ev := &c.inbox.v[i]
+			if ev.at < end {
+				panic(fmt.Sprintf("simcore: cross-shard event at %v delivered after window end %v (lookahead violated)", ev.at, end))
+			}
+			d.eng.InjectArg(ev.at, ev.schedAt, ev.fn, ev.arg)
+			ev.fn, ev.arg = nil, nil
+		}
+	}
+}

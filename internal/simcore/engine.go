@@ -10,7 +10,13 @@ import (
 )
 
 // Event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (FIFO), which keeps simulations deterministic.
+// causal order: first by the virtual time they were *scheduled* at, then by
+// insertion sequence (FIFO). In a single-engine run insertion order is
+// already nondecreasing in schedule time — the clock never moves backwards —
+// so the schedAt key changes nothing there; its purpose is sharded runs,
+// where the coordinator injects cross-shard events at window barriers
+// (insertion-late) but stamps them with their original schedule time, which
+// restores the exact tie order a sequential replay would have produced.
 //
 // Events are pooled: once an event has fired (or a cancelled event has been
 // drained), the engine recycles its storage for a future Schedule call.
@@ -18,8 +24,9 @@ import (
 // handle carrying a generation number, so operations on a stale handle are
 // safe no-ops instead of corrupting an unrelated recycled event.
 type Event struct {
-	at  time.Duration
-	seq uint64
+	at      time.Duration
+	schedAt time.Duration
+	seq     uint64
 
 	// Exactly one of fn/argFn is set. argFn+arg lets hot paths schedule a
 	// per-object callback without allocating a fresh closure per event.
@@ -63,7 +70,8 @@ func (t Timer) At() time.Duration {
 	return t.ev.at
 }
 
-// eventHeap is a hand-rolled 4-ary min-heap ordered by (time, sequence).
+// eventHeap is a hand-rolled 4-ary min-heap ordered by
+// (time, schedule time, sequence).
 // Children of slot i live at 4i+1..4i+4 and its parent at (i-1)/4, so the
 // tree is half as deep as a binary heap: pushes (which only walk up) compare
 // against half as many ancestors, and a deep queue keeps more of the
@@ -71,14 +79,17 @@ func (t Timer) At() time.Duration {
 // level, but levels are cheap to scan — the four *Event pointers are
 // adjacent — and there are half as many of them.
 //
-// Because (at, seq) is a total order (seq is unique per event), the pop
-// sequence is independent of heap shape: any arity yields the same event
+// Because (at, schedAt, seq) is a total order (seq is unique per event), the
+// pop sequence is independent of heap shape: any arity yields the same event
 // order, so golden simcheck digests are unaffected by this layout.
 type eventHeap []*Event
 
 func eventBefore(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
 	}
 	return a.seq < b.seq
 }
@@ -183,6 +194,34 @@ func (e *Engine) Now() time.Duration { return e.now }
 // have not yet been drained).
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Len is the queue length — identical to Pending, exported under the name
+// the shard coordinator and its tests use for "events left in this engine".
+func (e *Engine) Len() int { return len(e.queue) }
+
+// PendingEvents reports how many queued events are still live, i.e. not yet
+// cancelled. Unlike Pending it excludes cancelled-but-undrained entries; it
+// scans the queue (O(n)), so it is meant for tests and debug surfaces, not
+// per-event hot paths.
+func (e *Engine) PendingEvents() int {
+	live := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			live++
+		}
+	}
+	return live
+}
+
+// NextAt reports the firing time of the earliest queued event. ok is false
+// when the queue is empty. Cancelled events still count: they occupy the
+// queue until drained, and treating them as real keeps the answer O(1).
+func (e *Engine) NextAt() (at time.Duration, ok bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // alloc takes an event from the free-list (or allocates one) and enqueues
 // it at the given time.
 func (e *Engine) alloc(at time.Duration) *Event {
@@ -202,6 +241,7 @@ func (e *Engine) alloc(at time.Duration) *Event {
 		e.slab = e.slab[1:]
 	}
 	ev.at = at
+	ev.schedAt = e.now
 	ev.seq = e.nextSeq
 	ev.cancelled = false
 	e.nextSeq++
@@ -254,6 +294,25 @@ func (e *Engine) ScheduleArgAfter(d time.Duration, fn func(any), arg any) Timer 
 	return e.ScheduleArg(e.now+d, fn, arg)
 }
 
+// InjectArg queues fn(arg) at time at, stamped as if it had been scheduled at
+// virtual time schedAt. The shard coordinator uses it to deliver cross-shard
+// events at window barriers: the event was logically scheduled on its source
+// shard at schedAt (< at, by the lookahead), and carrying that stamp into the
+// destination heap makes equal-time ties resolve exactly as a sequential
+// replay would — by who scheduled first, not by who happened to be inserted
+// first. schedAt after at panics: such an event would claim to be scheduled
+// after it fires.
+func (e *Engine) InjectArg(at, schedAt time.Duration, fn func(any), arg any) Timer {
+	if schedAt > at {
+		panic(fmt.Sprintf("simcore: inject at %v scheduled later, at %v", at, schedAt))
+	}
+	ev := e.alloc(at)
+	ev.schedAt = schedAt
+	ev.argFn = fn
+	ev.arg = arg
+	return Timer{ev: ev, gen: ev.gen}
+}
+
 // SetEventHook registers fn to observe every executed event. The hook runs
 // on the simulation goroutine immediately before each event's callback, with
 // the event's firing time and global sequence number. A nil fn detaches the
@@ -278,6 +337,27 @@ func (e *Engine) Stop() { e.stopped = true }
 // fire; events strictly after it remain queued. It returns the number of
 // events executed.
 func (e *Engine) Run(horizon time.Duration) int {
+	executed := e.exec(horizon, true)
+	if e.now < horizon && !e.stopped {
+		// Advance the clock to the horizon so repeated Run calls observe
+		// monotonic time even when the queue drains early.
+		e.now = horizon
+	}
+	return executed
+}
+
+// RunUntil executes events strictly before stop — the half-open window
+// [Now, stop) the shard coordinator advances engines by. Unlike Run it does
+// not advance the clock past the last executed event, so an event injected
+// for exactly time stop can still be scheduled afterwards. It returns the
+// number of events executed.
+func (e *Engine) RunUntil(stop time.Duration) int {
+	return e.exec(stop, false)
+}
+
+// exec is the shared event loop: it fires events with at < bound, plus
+// at == bound when inclusive.
+func (e *Engine) exec(bound time.Duration, inclusive bool) int {
 	if e.running {
 		panic("simcore: Run re-entered")
 	}
@@ -288,7 +368,7 @@ func (e *Engine) Run(horizon time.Duration) int {
 	executed := 0
 	for len(e.queue) > 0 && !e.stopped {
 		ev := e.queue[0]
-		if ev.at > horizon {
+		if ev.at > bound || (!inclusive && ev.at == bound) {
 			break
 		}
 		e.queue.popMin()
@@ -308,10 +388,19 @@ func (e *Engine) Run(horizon time.Duration) int {
 		executed++
 		e.release(ev)
 	}
-	if e.now < horizon && !e.stopped {
-		// Advance the clock to the horizon so repeated Run calls observe
-		// monotonic time even when the queue drains early.
-		e.now = horizon
-	}
 	return executed
+}
+
+// AdvanceTo moves the idle clock forward to t without executing anything.
+// The shard coordinator uses it to leave every engine at exactly the run
+// horizon after the final window. Moving the clock backwards, or advancing
+// it mid-Run, panics — both would corrupt causality.
+func (e *Engine) AdvanceTo(t time.Duration) {
+	if e.running {
+		panic("simcore: AdvanceTo during Run")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("simcore: AdvanceTo %v before now %v", t, e.now))
+	}
+	e.now = t
 }

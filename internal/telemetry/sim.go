@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cc"
@@ -69,6 +70,24 @@ func AttachSim(n *netsim.Network, h *Hub) *SimObserver {
 	})
 	exportJuryCounters(r, n)
 	return o
+}
+
+// RecordShards exports the outcome of one sharded simulation run: a gauge
+// with the shard count of the most recent run plus one cumulative per-shard
+// executed-event counter (sim_shard_<i>_events_total). executed is
+// ShardRun.Executed from netsim — one entry per shard, in shard order. A
+// disabled hub records nothing.
+func RecordShards(h *Hub, executed []int64) {
+	if !h.Enabled() {
+		return
+	}
+	h.Registry.Gauge("sim_shards", "shard count of the most recent sharded run").Set(float64(len(executed)))
+	for i, e := range executed {
+		h.Registry.Counter(
+			fmt.Sprintf("sim_shard_%d_events_total", i),
+			fmt.Sprintf("events executed by shard %d across sharded runs", i),
+		).Add(e)
+	}
 }
 
 // exportJuryCounters registers callback gauges summing the decision-guard

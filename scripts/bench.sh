@@ -28,7 +28,9 @@ esac
 
 if [ "$MODE" = smoke ]; then
     # One iteration per benchmark: proves the harness still runs end to end
-    # without paying for statistically stable timings.
+    # without paying for statistically stable timings. The huge-mesh scenario
+    # is scaled down from its default 10k flows unless the caller overrides.
+    JURY_HUGE_FLOWS=${JURY_HUGE_FLOWS:-400} \
     go test -run '^$' -bench "$BENCHES" -benchtime 1x -benchmem \
         ./internal/simcore ./internal/nn ./internal/rl ./internal/exp >/dev/null
     echo "bench smoke OK"
@@ -42,30 +44,39 @@ trap 'rm -f "$TMP" "$JSONTMP"' EXIT
 go test -run '^$' -bench 'BenchmarkEngineSchedule' -benchmem ./internal/simcore | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkMLPForward|BenchmarkMLPBackward' -benchmem ./internal/nn | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkReplaySample|BenchmarkTD3Update' -benchmem ./internal/rl | tee -a "$TMP"
-go test -run '^$' -bench 'BenchmarkScenario' -benchtime 3x -benchmem ./internal/exp | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkScenario$' -benchtime 3x -benchmem ./internal/exp | tee -a "$TMP"
+# The huge parking-lot mesh (10k flows by default) runs once per shard count:
+# a single iteration is already millions of events, and the events/sec column
+# is the figure of merit for the sharded engine.
+go test -run '^$' -bench 'BenchmarkScenarioHuge' -benchtime 1x -benchmem ./internal/exp | tee -a "$TMP"
 
-# The _meta entry records provenance; --compare's parser only loads lines
+# The _meta entry records provenance (plus free-form NOTES from the caller,
+# e.g. shard-count speedup observations); --compare's parser only loads lines
 # naming a "Benchmark...", so it is ignored by the regression gate.
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-awk -v commit="$COMMIT" -v stamp="$STAMP" '
+awk -v commit="$COMMIT" -v stamp="$STAMP" -v notes="${NOTES:-}" '
 BEGIN {
     print "{"
-    printf "  \"_meta\": {\"commit\": \"%s\", \"recorded_at\": \"%s\"}", commit, stamp
+    printf "  \"_meta\": {\"commit\": \"%s\", \"recorded_at\": \"%s\"", commit, stamp
+    if (notes != "") printf ", \"notes\": \"%s\"", notes
+    printf "}"
     first = 0
 }
 /^Benchmark/ {
     name = $1
-    nsop = ""; bop = ""; allocs = ""
+    nsop = ""; bop = ""; allocs = ""; eps = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") nsop = $(i - 1)
         if ($(i) == "B/op") bop = $(i - 1)
         if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "events/sec") eps = $(i - 1)
     }
     if (nsop == "") next
     if (!first) printf ",\n"
     first = 0
     printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
+    if (eps != "") printf ", \"events_per_sec\": %s", eps
     if (bop != "") printf ", \"bytes_per_op\": %s", bop
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"

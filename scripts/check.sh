@@ -32,6 +32,14 @@ go test -race -short ./...
 echo "== fault-matrix smoke under the race detector"
 go test -race -short -run '^TestFaultMatrix' ./internal/simcheck
 
+echo "== sharded engine: digest parity (canonical scenarios, -shards=1 vs 4)"
+go test -run '^(TestShardedDigestParity|TestHugeShardedDigestParity)$' -count=1 ./internal/exp
+
+echo "== shard coordinator race smoke"
+go test -race -run '^TestCoordinator' -count=1 ./internal/simcore
+go test -race -run '^(TestRunSharded|TestPartition)' -count=1 ./internal/netsim
+go test -race -run '^TestSharded' -count=1 ./internal/simcheck
+
 echo "== telemetry: disabled-path zero-alloc + digest parity"
 go test -run '^(TestDisabledZeroAlloc|TestEnabledEventZeroAlloc|TestNilSafety|TestTelemetryDigestParity)$' -count=1 ./internal/telemetry
 
