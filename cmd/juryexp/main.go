@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/runstore"
 	"repro/internal/telemetry"
 )
 
@@ -55,12 +56,23 @@ var experiments = []struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "store" {
+		if err := storeMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "juryexp store:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		id     = flag.String("exp", "", "experiment id (see -list)")
 		full   = flag.Bool("full", false, "run at the paper's full scale (slow on one CPU)")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		list   = flag.Bool("list", false, "list experiments")
 		shards = flag.Int("shards", 1, "max shards for space-parallel scenario execution (1 = sequential; results are shard-count independent)")
+
+		storeDir   = flag.String("store", "", "record completed runs in a WAL-backed store at this directory")
+		resume     = flag.Bool("resume", false, "serve runs already present in -store without re-simulating")
+		storeFsync = flag.String("store-fsync", "interval", `store durability: "always", "interval", or "never"`)
 
 		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
 		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
@@ -75,6 +87,33 @@ func main() {
 	exp.Telemetry = hub
 	defer hub.Close()
 	exp.DefaultShards = *shards
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "juryexp: -resume requires -store DIR")
+		os.Exit(2)
+	}
+	if *storeDir != "" {
+		pol, err := runstore.ParsePolicy(*storeFsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "juryexp:", err)
+			os.Exit(2)
+		}
+		st, err := runstore.Open(runstore.Options{Dir: *storeDir, Fsync: pol, CompactEvery: 256})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "juryexp:", err)
+			os.Exit(1)
+		}
+		if rep := st.Repair(); rep.Dirty() {
+			fmt.Fprintf(os.Stderr, "store: repaired on open (wal: %q, snapshot: %q, %d bytes dropped)\n",
+				rep.WALNote, rep.SnapshotNote, rep.DroppedTornBytes)
+		}
+		fmt.Fprintf(os.Stderr, "store: %d records at %s (resume=%v)\n", st.Len(), *storeDir, *resume)
+		exp.AttachStore(st, *resume)
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "juryexp: store close:", err)
+			}
+		}()
+	}
 	if addr := hub.DebugAddr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/\n", addr)
 	}
@@ -101,6 +140,70 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "juryexp: unknown experiment %q (use -list)\n", *id)
 	os.Exit(2)
+}
+
+// storeMain implements `juryexp store <ls|verify|compact> DIR`: offline
+// inspection and maintenance of a run store.
+func storeMain(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: juryexp store <ls|verify|compact> DIR")
+	}
+	cmd, dir := args[0], args[1]
+	switch cmd {
+	case "ls":
+		st, err := runstore.Open(runstore.Options{Dir: dir, ReadOnly: true})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		var table [][]string
+		for _, r := range st.Records() {
+			table = append(table, []string{
+				r.Key.Short(), r.Scenario, strings.Join(r.Schemes, ","),
+				fmt.Sprint(r.Seed), fmt.Sprintf("%016x", r.Digest), fmt.Sprint(r.Checked),
+				time.Unix(0, r.AppendedAt).UTC().Format("2006-01-02T15:04:05Z"),
+			})
+		}
+		fmt.Print(exp.FormatTable([]string{"key", "scenario", "schemes", "seed", "digest", "checked", "appended"}, table))
+		fmt.Printf("%d records\n", st.Len())
+		return nil
+	case "verify":
+		rep, err := runstore.Verify(dir)
+		if err != nil {
+			return err
+		}
+		describe := func(name string, f runstore.FileReport) {
+			if !f.Present {
+				fmt.Printf("%-9s absent\n", name)
+				return
+			}
+			fmt.Printf("%-9s %d records, %d bytes, header ok=%v, torn=%d", name, f.Records, f.Bytes, f.HeaderOK, f.Torn)
+			if f.Note != "" {
+				fmt.Printf("  (%s)", f.Note)
+			}
+			fmt.Println()
+		}
+		describe("snapshot", rep.Snapshot)
+		describe("wal", rep.WAL)
+		if !rep.Clean() {
+			return fmt.Errorf("store at %s is damaged (repairable: reopen it writable)", dir)
+		}
+		fmt.Println("clean")
+		return nil
+	case "compact":
+		st, err := runstore.Open(runstore.Options{Dir: dir})
+		if err != nil {
+			return err
+		}
+		if err := st.Compact(); err != nil {
+			st.Close()
+			return err
+		}
+		fmt.Printf("compacted %d records into snapshot\n", st.Len())
+		return st.Close()
+	default:
+		return fmt.Errorf("unknown store command %q (want ls, verify, or compact)", cmd)
+	}
 }
 
 func runTab1(bool, uint64) error {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/runstore"
 	"repro/internal/simcheck"
 	"repro/internal/telemetry"
 	"repro/internal/traces"
@@ -143,24 +144,117 @@ func (s Scenario) BufferBDP(n float64) int {
 	return int(n * s.Rate / 8 * (2 * s.OneWayDelay).Seconds())
 }
 
+// FlowSummary is the serializable read-only view of one flow of a run:
+// everything the figure and table consumers read, detached from the live
+// simulator objects so a result loaded from the run store (internal/
+// runstore) is indistinguishable from a fresh one. It satisfies
+// metrics.FlowSeries.
+type FlowSummary struct {
+	name      string
+	baseRTT   time.Duration
+	stats     netsim.FlowStats
+	series    []netsim.SeriesPoint
+	degraded  int64
+	nonFinite int64
+}
+
+// Name returns the flow's label.
+func (f *FlowSummary) Name() string { return f.name }
+
+// BaseRTT returns the flow's propagation round-trip floor.
+func (f *FlowSummary) BaseRTT() time.Duration { return f.baseRTT }
+
+// Stats returns the flow's lifetime counters.
+func (f *FlowSummary) Stats() netsim.FlowStats { return f.stats }
+
+// Series returns the recorded per-interval samples.
+func (f *FlowSummary) Series() []netsim.SeriesPoint { return f.series }
+
+// JuryCounters returns the Jury decision-guard counters (degraded
+// AIMD-fallback decisions, non-finite actions that reached Eq. 7); both are
+// zero for non-Jury schemes.
+func (f *FlowSummary) JuryCounters() (degraded, nonFinite int64) {
+	return f.degraded, f.nonFinite
+}
+
+// LinkSummary carries the bottleneck-link counters a stored run preserves.
+type LinkSummary struct {
+	FaultDrops int64
+	Reordered  int64
+	Duplicated int64
+}
+
 // RunResult holds everything the figure runners need from one simulation.
+// FlowSummaries and LinkSummary are always populated; Flows and Link are
+// the live simulator objects and are nil when the result was served from
+// the run store (Cached) rather than simulated.
 type RunResult struct {
 	Scenario    Scenario
 	Flows       []*netsim.Flow
 	Link        *netsim.Link
 	Utilization float64
+	// FlowSummaries is the detached per-flow view (stats, series, Jury
+	// counters) that every figure/table consumer reads.
+	FlowSummaries []*FlowSummary
+	LinkSummary   LinkSummary
 	// Digest fingerprints the run (event stream + final statistics) when
 	// the invariant checker was attached; zero otherwise.
 	Digest uint64
 	// Checked reports whether the run executed under the invariant checker.
 	Checked bool
+	// Cached reports that the result was loaded from the run store instead
+	// of simulated.
+	Cached bool
 }
 
-// Run executes a scenario.
+// summarize detaches the result's flow and link state into FlowSummaries /
+// LinkSummary once the simulation is over.
+func (r *RunResult) summarize() {
+	r.FlowSummaries = make([]*FlowSummary, 0, len(r.Flows))
+	for _, f := range r.Flows {
+		fs := &FlowSummary{
+			name:    f.Name(),
+			baseRTT: f.BaseRTT(),
+			stats:   f.Stats(),
+			series:  f.Series(),
+		}
+		if j, ok := f.CC().(*core.Jury); ok {
+			fs.degraded = j.DegradedDecisions()
+			fs.nonFinite = j.NonFiniteActions()
+		}
+		r.FlowSummaries = append(r.FlowSummaries, fs)
+	}
+	if r.Link != nil {
+		st := r.Link.FaultStats()
+		r.LinkSummary = LinkSummary{
+			FaultDrops: st.Drops(),
+			Reordered:  st.Reordered,
+			Duplicated: st.Duplicated,
+		}
+	}
+}
+
+// Run executes a scenario. When a run store is attached (see AttachStore),
+// the completed result is appended to it; in resume mode a scenario whose
+// content key is already stored is served from the store without touching
+// the simulator.
 func Run(s Scenario) (*RunResult, error) {
 	if s.Horizon <= 0 {
 		return nil, fmt.Errorf("exp: scenario %q without horizon", s.Name)
 	}
+	st := Store
+	key, cacheable := runstore.Key{}, false
+	if st != nil {
+		key, cacheable = ScenarioKey(s)
+		if cacheable && StoreResume {
+			if rec, ok := st.Get(key); ok {
+				storeCounter("runstore_hits_total", "sweep runs served from the run store").Inc()
+				return resultFromRecord(s, rec), nil
+			}
+			storeCounter("runstore_misses_total", "sweep runs not found in the run store").Inc()
+		}
+	}
+	liveRuns.Add(1)
 	n := netsim.New(netsim.Config{Seed: s.Seed})
 	link := n.AddLink(netsim.LinkConfig{
 		Rate:        s.Rate,
@@ -247,6 +341,13 @@ func Run(s Scenario) (*RunResult, error) {
 		}
 		res.Digest = ck.Digest()
 		res.Checked = true
+	}
+	res.summarize()
+	if st != nil && cacheable {
+		if err := st.Put(recordFromResult(key, s, res)); err != nil {
+			return nil, fmt.Errorf("exp: scenario %q: %w", s.Name, err)
+		}
+		storeCounter("runstore_appends_total", "run records appended to the run store").Inc()
 	}
 	if hub.Enabled() {
 		runSeconds.Observe(time.Since(started).Seconds())

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/metrics"
-	"repro/internal/netsim"
 	"repro/internal/simcore"
 )
 
@@ -39,8 +38,9 @@ type FlowSeriesRow struct {
 	Mbps float64
 }
 
-// seriesRows flattens flow series for plotting/printing.
-func seriesRows(flows []*netsim.Flow, every time.Duration) []FlowSeriesRow {
+// seriesRows flattens flow series for plotting/printing. It is generic over
+// metrics.FlowSeries so both live flows and stored run summaries plot.
+func seriesRows[F metrics.FlowSeries](flows []F, every time.Duration) []FlowSeriesRow {
 	var rows []FlowSeriesRow
 	for _, f := range flows {
 		var acc float64
@@ -97,10 +97,10 @@ func Fig1AstraeaGeneralization(o Fig1Options) (*Fig1Result, error) {
 		return nil, err
 	}
 	return &Fig1Result{
-		InDomainJain:    metrics.TimewiseJain(results[0].Flows),
-		OutOfDomainJain: metrics.TimewiseJain(results[1].Flows),
-		InDomainSeries:  seriesRows(results[0].Flows, 5*time.Second),
-		OutDomainSeries: seriesRows(results[1].Flows, 5*time.Second),
+		InDomainJain:    metrics.TimewiseJain(results[0].FlowSummaries),
+		OutOfDomainJain: metrics.TimewiseJain(results[1].FlowSummaries),
+		InDomainSeries:  seriesRows(results[0].FlowSummaries, 5*time.Second),
+		OutDomainSeries: seriesRows(results[1].FlowSummaries, 5*time.Second),
 	}, nil
 }
 
@@ -170,7 +170,7 @@ func Fig6JainIndex(o Fig6Options) ([]Fig6Row, error) {
 	for si, scheme := range o.Schemes {
 		var jains []float64
 		for r := 0; r < o.Runs; r++ {
-			jains = append(jains, metrics.TimewiseJain(results[si*o.Runs+r].Flows))
+			jains = append(jains, metrics.TimewiseJain(results[si*o.Runs+r].FlowSummaries))
 		}
 		pcts := metrics.Percentiles(jains, 5, 95)
 		rows = append(rows, Fig6Row{
@@ -256,13 +256,13 @@ func Fig7Convergence(p Fig7Panel, o Fig7Options) (*Fig7Result, error) {
 }
 
 func fig7Result(p Fig7Panel, o Fig7Options, res *RunResult) *Fig7Result {
-	last := res.Flows[len(res.Flows)-1]
+	last := res.FlowSummaries[len(res.FlowSummaries)-1]
 	return &Fig7Result{
 		Panel:               p,
-		Jain:                metrics.TimewiseJain(res.Flows),
+		Jain:                metrics.TimewiseJain(res.FlowSummaries),
 		Utilization:         res.Utilization,
 		LastJoinConvergence: metrics.ConvergenceTime(last, 2*o.Stagger, p.Rate/3, 0.8, 5),
-		Series:              seriesRows(res.Flows, 5*time.Second),
+		Series:              seriesRows(res.FlowSummaries, 5*time.Second),
 	}
 }
 
@@ -340,9 +340,9 @@ func Fig8RTTFairness(o Fig8Options) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig8Result{Series: seriesRows(res.Flows, 5*time.Second)}
+	out := &Fig8Result{Series: seriesRows(res.FlowSummaries, 5*time.Second)}
 	from, to := lastStart+o.Lifetime/3, s.Horizon
-	for _, f := range res.Flows {
+	for _, f := range res.FlowSummaries {
 		out.LateShares = append(out.LateShares, metrics.MeanThroughput(f, from, to))
 		out.AvgRTTms = append(out.AvgRTTms, float64(metrics.MeanRTT(f, from, to))/1e6)
 	}
@@ -416,8 +416,8 @@ func Fig9Friendliness(o Fig9Options) ([]Fig9Row, error) {
 	}
 	for i, res := range results {
 		from := o.Lifetime / 3
-		a := metrics.MeanThroughput(res.Flows[0], from, o.Lifetime)
-		b := metrics.MeanThroughput(res.Flows[1], from, o.Lifetime)
+		a := metrics.MeanThroughput(res.FlowSummaries[0], from, o.Lifetime)
+		b := metrics.MeanThroughput(res.FlowSummaries[1], from, o.Lifetime)
 		rows[i].Ratio = math.Inf(1)
 		if b > 0 {
 			rows[i].Ratio = a / b

@@ -102,7 +102,7 @@ func Fig10PerformanceSweeps(o Fig10Options) ([]Fig10Row, error) {
 	}
 	for i, res := range results {
 		rows[i].Utilization = res.Utilization
-		rows[i].QueuingDelay = metrics.MeanQueuingDelayMS(res.Flows[0], o.Lifetime/2, o.Lifetime)
+		rows[i].QueuingDelay = metrics.MeanQueuingDelayMS(res.FlowSummaries[0], o.Lifetime/2, o.Lifetime)
 	}
 	return rows, nil
 }
@@ -163,7 +163,7 @@ func runPareto(o Fig11Options, rate float64, owd time.Duration, loss float64, bu
 
 // paretoRow reduces one single-flow run to its throughput/latency point.
 func paretoRow(scheme string, res *RunResult, lifetime time.Duration) Fig11Row {
-	f := res.Flows[0]
+	f := res.FlowSummaries[0]
 	thr := metrics.MeanThroughput(f, lifetime/3, lifetime)
 	rtt := metrics.MeanRTT(f, lifetime/3, lifetime)
 	norm := 1.0
@@ -247,7 +247,7 @@ func Fig12LTEResponsiveness(o Fig12Options) ([]Fig12Row, error) {
 		var acc float64
 		var n int
 		next := time.Second
-		for _, p := range res.Flows[0].Series() {
+		for _, p := range res.FlowSummaries[0].Series() {
 			acc += p.SendRateBps
 			n++
 			if p.T >= next {

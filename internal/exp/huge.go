@@ -9,6 +9,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/cc/cubic"
 	"repro/internal/netsim"
+	"repro/internal/runstore"
 	"repro/internal/simcheck"
 )
 
@@ -142,8 +143,24 @@ func BuildHuge(o HugeOptions) (*netsim.Network, HugeOptions) {
 
 // RunHuge builds and runs the huge parking-lot mesh and reports event counts
 // (and, with Check, the simcheck digest). Same options, same shard count →
-// bit-identical results.
+// bit-identical results. With a resumable store attached, a previously
+// completed run with the same resolved options is served from the store.
 func RunHuge(o HugeOptions) (*HugeResult, error) {
+	customCC := o.CC != nil
+	o.defaults()
+	st := Store
+	key, cacheable := runstore.Key{}, false
+	if st != nil {
+		key, cacheable = HugeKey(o, customCC)
+		if cacheable && StoreResume {
+			if rec, ok := st.Get(key); ok {
+				storeCounter("runstore_hits_total", "sweep runs served from the run store").Inc()
+				return hugeFromRecord(o, rec), nil
+			}
+			storeCounter("runstore_misses_total", "sweep runs not found in the run store").Inc()
+		}
+	}
+	liveRuns.Add(1)
 	n, o := BuildHuge(o)
 	var ck *simcheck.Checker
 	if o.Check || ForceCheck {
@@ -168,6 +185,12 @@ func RunHuge(o HugeOptions) (*HugeResult, error) {
 			return nil, fmt.Errorf("exp: huge: %w", err)
 		}
 		res.Digest = ck.Digest()
+	}
+	if st != nil && cacheable {
+		if err := st.Put(hugeRecord(key, o, res)); err != nil {
+			return nil, fmt.Errorf("exp: huge: %w", err)
+		}
+		storeCounter("runstore_appends_total", "run records appended to the run store").Inc()
 	}
 	return res, nil
 }

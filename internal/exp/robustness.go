@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/metrics"
 )
@@ -165,22 +164,20 @@ func robustnessRow(scheme string, c RobustnessCase, r *RunResult, o RobustnessOp
 	}
 	// Late-window shares: ignore the convergence transient, like Fig. 8.
 	from := o.Lifetime / 3
-	shares := make([]float64, 0, len(r.Flows))
+	shares := make([]float64, 0, len(r.FlowSummaries))
 	var lossSum float64
-	for _, f := range r.Flows {
+	for _, f := range r.FlowSummaries {
 		shares = append(shares, metrics.MeanThroughput(f, from, o.Lifetime))
 		lossSum += f.Stats().LossRate
-		if j, ok := f.CC().(*core.Jury); ok {
-			row.Degraded += j.DegradedDecisions()
-			row.NonFinite += j.NonFiniteActions()
-		}
+		deg, nf := f.JuryCounters()
+		row.Degraded += deg
+		row.NonFinite += nf
 	}
 	row.Jain = metrics.JainIndex(shares)
-	row.MeanLoss = lossSum / float64(len(r.Flows))
-	fs := r.Link.FaultStats()
-	row.FaultDrops = fs.Drops()
-	row.Reordered = fs.Reordered
-	row.Duplicated = fs.Duplicated
+	row.MeanLoss = lossSum / float64(len(r.FlowSummaries))
+	row.FaultDrops = r.LinkSummary.FaultDrops
+	row.Reordered = r.LinkSummary.Reordered
+	row.Duplicated = r.LinkSummary.Duplicated
 	return row
 }
 

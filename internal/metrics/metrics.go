@@ -11,6 +11,16 @@ import (
 	"repro/internal/netsim"
 )
 
+// FlowSeries is the read-only view of a flow the series metrics need. Both
+// live *netsim.Flow values and stored run summaries (exp.FlowSummary,
+// reconstructed from the WAL-backed run store) satisfy it, so every figure
+// and table computes identically from a cached record and a fresh run.
+type FlowSeries interface {
+	Name() string
+	BaseRTT() time.Duration
+	Series() []netsim.SeriesPoint
+}
+
 // JainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over the given
 // allocations. It is 1 for perfectly equal shares and 1/n when one flow
 // takes everything. Empty or all-zero input yields 0.
@@ -45,7 +55,7 @@ func JainIndex(x []float64) float64 {
 }
 
 // MeanThroughput averages a flow's recorded throughput over [from, to].
-func MeanThroughput(f *netsim.Flow, from, to time.Duration) float64 {
+func MeanThroughput(f FlowSeries, from, to time.Duration) float64 {
 	var sum float64
 	var n int
 	for _, p := range f.Series() {
@@ -62,7 +72,7 @@ func MeanThroughput(f *netsim.Flow, from, to time.Duration) float64 {
 
 // MeanQueuingDelayMS averages (AvgRTT − base RTT) in milliseconds over
 // [from, to], skipping samples with no RTT.
-func MeanQueuingDelayMS(f *netsim.Flow, from, to time.Duration) float64 {
+func MeanQueuingDelayMS(f FlowSeries, from, to time.Duration) float64 {
 	var sum float64
 	var n int
 	base := f.BaseRTT()
@@ -83,7 +93,7 @@ func MeanQueuingDelayMS(f *netsim.Flow, from, to time.Duration) float64 {
 }
 
 // MeanRTT averages a flow's recorded RTT over [from, to].
-func MeanRTT(f *netsim.Flow, from, to time.Duration) time.Duration {
+func MeanRTT(f FlowSeries, from, to time.Duration) time.Duration {
 	var sum time.Duration
 	var n int64
 	for _, p := range f.Series() {
@@ -102,7 +112,7 @@ func MeanRTT(f *netsim.Flow, from, to time.Duration) time.Duration {
 // flows that are active (non-zero throughput window) and returns the mean —
 // the "average Jain index" of the paper's Fig. 6, which penalizes both
 // unequal equilibria and slow convergence.
-func TimewiseJain(flows []*netsim.Flow) float64 {
+func TimewiseJain[F FlowSeries](flows []F) float64 {
 	series := make(map[time.Duration][]float64)
 	for _, f := range flows {
 		for _, p := range f.Series() {
@@ -190,7 +200,7 @@ func Mean(xs []float64) float64 {
 // It returns -1 if the flow never converges within its series. The paper
 // reads this quantity off the Fig. 7 dynamics ("convergence speed is a
 // little slower in large BDP links").
-func ConvergenceTime(f *netsim.Flow, start time.Duration, fairShare float64, fraction float64, hold int) time.Duration {
+func ConvergenceTime(f FlowSeries, start time.Duration, fairShare float64, fraction float64, hold int) time.Duration {
 	if hold < 1 {
 		hold = 1
 	}

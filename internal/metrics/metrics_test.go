@@ -143,7 +143,7 @@ func TestTimewiseJain(t *testing.T) {
 	if j < 0.95 {
 		t.Fatalf("timewise Jain %v for equal flows", j)
 	}
-	if TimewiseJain(nil) != 1 {
+	if TimewiseJain[FlowSeries](nil) != 1 {
 		t.Fatal("no-flow timewise Jain should be 1 (vacuous)")
 	}
 	// A lone flow is trivially fair at every instant.

@@ -43,11 +43,18 @@ go test -race -run '^TestSharded' -count=1 ./internal/simcheck
 echo "== telemetry: disabled-path zero-alloc + digest parity"
 go test -run '^(TestDisabledZeroAlloc|TestEnabledEventZeroAlloc|TestNilSafety|TestTelemetryDigestParity)$' -count=1 ./internal/telemetry
 
+echo "== run store: crash matrix + bit-flip sweep under the race detector"
+go test -race -short -run '^(TestCrashMatrix|TestCompactionCrashMatrix|TestBitFlipSweep)$' -count=1 ./internal/runstore
+
+echo "== run store: warm-sweep skip + kill-and-resume"
+go test -run '^(TestRunManyWarmStoreSkipsSimulation|TestKillAndResumeSweep|TestRetryPathLeavesStoreIntact|TestScenarioKeyStability)$' -count=1 ./internal/exp
+
 echo "== bench harness smoke (1 iteration per benchmark)"
 scripts/bench.sh --smoke
 
 echo "== fuzz smoke (10s each)"
 go test -run='^$' -fuzz='^FuzzMahimahiParse$' -fuzztime=10s ./internal/traces
 go test -run='^$' -fuzz='^FuzzAgentRPCDecode$' -fuzztime=10s ./internal/agentrpc
+go test -run='^$' -fuzz='^FuzzWALDecode$' -fuzztime=10s ./internal/runstore
 
 echo "OK"
