@@ -21,6 +21,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/agentrpc"
+	"repro/internal/cc"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -66,6 +69,8 @@ func main() {
 		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
 		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
+
+		daemonAddr = flag.String("daemon-addr", "", "drive jury flows from a juryserve inference daemon at this address (AIMD-safe fallback on failure)")
 	)
 	flag.Parse()
 	hub := setupTelemetry(*telemetryOn, *traceOut, *debugAddr)
@@ -90,11 +95,38 @@ func main() {
 		Seed:        *seed,
 	}
 	s.BufferBytes = s.BufferBDP(*bufBDP)
+	var clients []*agentrpc.Client
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
 	for i, name := range names {
-		s.Flows = append(s.Flows, exp.FlowSpec{
+		spec := exp.FlowSpec{
 			Scheme: strings.TrimSpace(name),
 			Start:  time.Duration(i) * *stagger,
-		})
+		}
+		// Each daemon-driven jury flow gets its own client (one connection,
+		// one tenant label) with the AIMD-safe fallback, so a daemon outage
+		// degrades the flow instead of freezing it.
+		if *daemonAddr != "" && spec.Scheme == "jury" {
+			cl, err := agentrpc.DialConfig(*daemonAddr, core.AIMDPolicy{}, agentrpc.ClientConfig{
+				Timeout: 10 * time.Second, // simulated time outruns wall time; don't fall back on scheduler hiccups
+				Tenant:  fmt.Sprintf("jurysim-flow-%d", i),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jurysim: daemon dial:", err)
+				os.Exit(1)
+			}
+			cl.SetLatencyHook(hub.RPCClientHook())
+			clients = append(clients, cl)
+			spec.CC = func(seed uint64) cc.Algorithm {
+				cfg := core.DefaultConfig()
+				cfg.Seed = seed
+				return core.New(cfg, cl)
+			}
+		}
+		s.Flows = append(s.Flows, spec)
 	}
 
 	res, err := exp.Run(s)

@@ -1,9 +1,19 @@
-// Package agentrpc reproduces the paper's deployment architecture (§4): the
-// congestion-control datapath and the policy inference run in different
-// address spaces, connected by a message channel (the paper uses a kernel
-// module talking to a userspace C++ inference service over netlink; here a
-// datapath-side Client talks to an inference Server over a stream socket
-// with a compact binary protocol).
+// Package agentrpc reproduces the paper's deployment architecture (§4) at
+// production scale: the congestion-control datapath and the policy inference
+// run in different address spaces, connected by a message channel (the paper
+// uses a kernel module talking to a userspace C++ inference service over
+// netlink; here a datapath-side Client talks to an inference Server over a
+// stream socket with a compact binary protocol).
+//
+// The Server is a multi-tenant inference daemon: concurrent Decide requests
+// are coalesced into minibatches executed under a latency budget (flush on
+// batch-full or deadline, whichever first), ideally through a BatchDecider
+// policy so one GEMM amortizes across every flow that asked in the window.
+// Admission control bounds the queue — overload is answered with a typed
+// BUSY response, never a silent hang — per-connection read *and* write
+// deadlines reclaim stalled peers, policies hot-swap between versions with a
+// health gate and automatic rollback on non-finite output, and shutdown
+// drains in-flight batches before closing.
 //
 // The Client implements core.Policy, so a Jury controller can be pointed at
 // a remote inference service transparently:
@@ -12,27 +22,14 @@
 //	client, _ := agentrpc.Dial(srv.Addr(), fallback)
 //	ctrl := core.New(cfg, client)
 //
-// Wire format (little endian):
-//
-//	request:  u32 count | count × f64 state
-//	response: f64 mu | f64 delta
-//
-// A count of 0 is a ping. The client degrades gracefully: on any transport
-// error it falls back to a local policy and tries to redial in the
-// background of subsequent decisions, because a congestion controller must
-// never stall its datapath on a dead inference service.
+// The client degrades gracefully, because a congestion controller must never
+// stall its datapath on a dead inference service: on any transport error it
+// serves the decision from a local fallback policy, a capped exponential
+// backoff with deterministic jitter paces redials, and a circuit breaker
+// trips open after consecutive failures so a dead or overloaded service
+// costs zero network latency per decision until a half-open probe detects
+// recovery. See wire.go for the exact framing.
 package agentrpc
-
-import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"io"
-	"math"
-	"net"
-	"sync"
-	"time"
-)
 
 // maxStateDim bounds request sizes; real Jury states are tens of values.
 const maxStateDim = 4096
@@ -43,320 +40,13 @@ type Policy interface {
 	Decide(state []float64) (mu, delta float64)
 }
 
-// defaultReadTimeout bounds how long a connection may sit idle between
-// requests before the server reclaims it. Healthy datapaths decide every
-// control interval (~30 ms); a connection silent for minutes is a hung or
-// half-closed peer holding a goroutine hostage.
-const defaultReadTimeout = 2 * time.Minute
-
-// Server runs an inference service around a Policy.
-type Server struct {
-	policy      Policy
-	ln          net.Listener
-	readTimeout time.Duration
-
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-
-	// Decisions counts served requests (atomically guarded by mu; the
-	// request rate is ~33/s per flow, contention is irrelevant).
-	decisions int64
-	// panics counts connections dropped because the policy panicked.
-	panics int64
-}
-
-// Serve starts a server on addr ("127.0.0.1:0" for an ephemeral port).
-func Serve(addr string, p Policy) (*Server, error) {
-	if p == nil {
-		return nil, errors.New("agentrpc: nil policy")
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &Server{policy: p, ln: ln, readTimeout: defaultReadTimeout, conns: map[net.Conn]struct{}{}}
-	go s.acceptLoop()
-	return s, nil
-}
-
-// SetReadTimeout changes the per-request idle limit (0 disables it). It
-// applies to connections accepted after the call.
-func (s *Server) SetReadTimeout(d time.Duration) {
-	s.mu.Lock()
-	s.readTimeout = d
-	s.mu.Unlock()
-}
-
-// Panics reports how many connections were dropped by a panicking policy.
-func (s *Server) Panics() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.panics
-}
-
-// Addr reports the listening address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// Decisions reports how many inference requests have been served.
-func (s *Server) Decisions() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.decisions
-}
-
-// Close stops the listener and all connections.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	return s.ln.Close()
-}
-
-func (s *Server) acceptLoop() {
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		go s.serveConn(conn)
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer func() {
-		// A panicking policy (poisoned weights, buggy experiment code) must
-		// cost one connection, not the whole inference service: the client
-		// falls back locally and redials.
-		if p := recover(); p != nil {
-			s.mu.Lock()
-			s.panics++
-			s.mu.Unlock()
-		}
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	s.mu.Lock()
-	readTimeout := s.readTimeout
-	s.mu.Unlock()
-	dec := newRequestReader(conn)
-	for {
-		if readTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(readTimeout)); err != nil {
-				return
-			}
-		}
-		state, ping, err := dec.next()
-		if err != nil {
-			return // io error, idle timeout, or protocol violation: drop the connection
-		}
-		if ping {
-			var resp [16]byte
-			if _, err := conn.Write(resp[:]); err != nil {
-				return
-			}
-			continue
-		}
-		mu, delta := s.policy.Decide(state)
-		var resp [16]byte
-		binary.LittleEndian.PutUint64(resp[0:], math.Float64bits(mu))
-		binary.LittleEndian.PutUint64(resp[8:], math.Float64bits(delta))
-		if _, err := conn.Write(resp[:]); err != nil {
-			return
-		}
-		s.mu.Lock()
-		s.decisions++
-		s.mu.Unlock()
-	}
-}
-
-// Dial backoff bounds: the first retry after a failed dial waits
-// dialBackoffBase, doubling per consecutive failure up to dialBackoffCap.
-// Without this, a dead service costs every decision a ~100 ms connect
-// timeout — a 3000× stall of the 30 ms control loop turns into one stall
-// every few seconds.
-const (
-	dialBackoffBase = 100 * time.Millisecond
-	dialBackoffCap  = 5 * time.Second
-)
-
-// errDialBackoff reports a redial suppressed by the backoff window; the
-// caller serves the decision from the fallback policy without touching the
-// network.
-var errDialBackoff = errors.New("agentrpc: dial suppressed by backoff")
-
-// Client is a core.Policy backed by a remote inference service, with a
-// local fallback policy for transport failures.
-type Client struct {
-	addr     string
-	fallback Policy
-	timeout  time.Duration
-
-	mu   sync.Mutex
-	conn net.Conn
-
-	// Capped exponential dial backoff state.
-	dialBackoff time.Duration
-	nextDialAt  time.Time
-
-	// Stats for tests and monitoring.
-	remoteDecisions   int64
-	fallbackDecisions int64
-	dialAttempts      int64
-
-	// latencyHook, when non-nil, observes every Decide's round-trip wall
-	// time and whether the remote service (vs the local fallback) answered.
-	// The telemetry layer points it at a latency histogram.
-	latencyHook func(d time.Duration, remote bool)
-}
-
-// Dial connects to a server. The fallback policy (required) answers while
-// the service is unreachable.
-func Dial(addr string, fallback Policy) (*Client, error) {
-	if fallback == nil {
-		return nil, errors.New("agentrpc: nil fallback policy")
-	}
-	c := &Client{addr: addr, fallback: fallback, timeout: 100 * time.Millisecond}
-	if err := c.redial(); err != nil {
-		return nil, fmt.Errorf("agentrpc: initial dial: %w", err)
-	}
-	return c, nil
-}
-
-func (c *Client) redial() error {
-	if !c.nextDialAt.IsZero() && time.Now().Before(c.nextDialAt) {
-		return errDialBackoff
-	}
-	c.dialAttempts++
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
-	if err != nil {
-		if c.dialBackoff == 0 {
-			c.dialBackoff = dialBackoffBase
-		} else if c.dialBackoff *= 2; c.dialBackoff > dialBackoffCap {
-			c.dialBackoff = dialBackoffCap
-		}
-		c.nextDialAt = time.Now().Add(c.dialBackoff)
-		return err
-	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true) // one request per control interval: latency over batching
-	}
-	c.conn = conn
-	c.dialBackoff = 0
-	c.nextDialAt = time.Time{}
-	return nil
-}
-
-// DialAttempts reports how many times the client actually tried to connect
-// (suppressed backoff attempts are not counted).
-func (c *Client) DialAttempts() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dialAttempts
-}
-
-// Close shuts the connection down.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
-	}
-	return nil
-}
-
-// RemoteDecisions reports how many decisions the service answered.
-func (c *Client) RemoteDecisions() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.remoteDecisions
-}
-
-// FallbackDecisions reports how many decisions fell back locally.
-func (c *Client) FallbackDecisions() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.fallbackDecisions
-}
-
-// SetLatencyHook registers fn to observe every Decide's wall-clock latency
-// (nil detaches it). The hook runs with the client lock held; keep it
-// cheap — a histogram observation, not I/O.
-func (c *Client) SetLatencyHook(fn func(d time.Duration, remote bool)) {
-	c.mu.Lock()
-	c.latencyHook = fn
-	c.mu.Unlock()
-}
-
-// Decide implements core.Policy: one round trip to the service, falling
-// back to the local policy on any error.
-func (c *Client) Decide(state []float64) (float64, float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var start time.Time
-	if c.latencyHook != nil {
-		start = time.Now()
-	}
-	mu, delta, err := c.decideRemote(state)
-	if err != nil {
-		if c.conn != nil {
-			c.conn.Close()
-			c.conn = nil
-		}
-		c.fallbackDecisions++
-		mu, delta = c.fallback.Decide(state)
-		if c.latencyHook != nil {
-			c.latencyHook(time.Since(start), false)
-		}
-		return mu, delta
-	}
-	c.remoteDecisions++
-	if c.latencyHook != nil {
-		c.latencyHook(time.Since(start), true)
-	}
-	return mu, delta
-}
-
-func (c *Client) decideRemote(state []float64) (float64, float64, error) {
-	if len(state) > maxStateDim {
-		return 0, 0, fmt.Errorf("state dim %d exceeds protocol max", len(state))
-	}
-	if c.conn == nil {
-		if err := c.redial(); err != nil {
-			return 0, 0, err
-		}
-	}
-	deadline := time.Now().Add(c.timeout)
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		return 0, 0, err
-	}
-	req := appendRequest(make([]byte, 0, 4+len(state)*8), state)
-	if _, err := c.conn.Write(req); err != nil {
-		return 0, 0, err
-	}
-	var resp [16]byte
-	if _, err := io.ReadFull(c.conn, resp[:]); err != nil {
-		return 0, 0, err
-	}
-	mu := math.Float64frombits(binary.LittleEndian.Uint64(resp[0:]))
-	delta := math.Float64frombits(binary.LittleEndian.Uint64(resp[8:]))
-	if math.IsNaN(mu) || math.IsNaN(delta) {
-		return 0, 0, errors.New("agentrpc: non-finite response")
-	}
-	return mu, delta, nil
+// BatchDecider is the fast path a serving policy can implement: one batched
+// forward pass over a rows×InputDim() row-major state matrix, writing the
+// per-row decisions into mu and delta. core.NNPolicy implements it on the
+// batched GEMM kernels; the daemon falls back to per-request Decide calls
+// for policies (or mixed-dimension batches) that don't.
+type BatchDecider interface {
+	Policy
+	InputDim() int
+	DecideBatch(states []float64, rows int, mu, delta []float64)
 }

@@ -17,19 +17,21 @@ import (
 func FuzzAgentRPCDecode(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})             // ping
 	f.Add([]byte{1, 0, 0, 0})             // truncated body
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // oversized count
+	f.Add([]byte{0xfe, 0xff, 0xff, 0xff}) // oversized count
 	two := appendRequest(nil, []float64{1.5, math.NaN()})
 	f.Add(two)
 	f.Add(append(append([]byte{}, two...), 0, 0, 0, 0)) // frame then ping
+	f.Add(appendHello(nil, "tenant-a"))                 // tenant hello
+	f.Add(append(appendHello(nil, ""), two...))         // empty hello then frame
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := newRequestReader(bytes.NewReader(data))
 		off := 0 // byte offset of the current frame within data
 		for {
-			state, ping, err := dec.next()
+			fr, err := dec.next()
 			if err != nil {
 				if errors.Is(err, errOversizedFrame) {
 					count := binary.LittleEndian.Uint32(data[off:])
-					if count <= maxStateDim {
+					if count <= maxStateDim || count == helloMagic {
 						t.Fatalf("count %d rejected as oversized", count)
 					}
 				} else if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
@@ -37,21 +39,33 @@ func FuzzAgentRPCDecode(f *testing.F) {
 				}
 				return
 			}
-			if ping {
-				if state != nil {
+			switch fr.kind {
+			case framePing:
+				if fr.state != nil {
 					t.Fatal("ping carried state")
 				}
 				off += 4
-				continue
+			case frameHello:
+				if len(fr.tenant) > maxTenantLen {
+					t.Fatalf("tenant length %d", len(fr.tenant))
+				}
+				if got := appendHello(nil, fr.tenant); !bytes.Equal(got, data[off:off+len(got)]) {
+					t.Fatalf("re-encode of hello at %d differs from wire bytes", off)
+				}
+				off += 4 + 1 + len(fr.tenant)
+			case frameDecide:
+				state := fr.state
+				if len(state) == 0 || len(state) > maxStateDim {
+					t.Fatalf("decoded state dim %d", len(state))
+				}
+				frameLen := 4 + len(state)*8
+				if got := appendRequest(nil, state); !bytes.Equal(got, data[off:off+frameLen]) {
+					t.Fatalf("re-encode of %d-dim frame at %d differs from wire bytes", len(state), off)
+				}
+				off += frameLen
+			default:
+				t.Fatalf("unknown frame kind %d", fr.kind)
 			}
-			if len(state) == 0 || len(state) > maxStateDim {
-				t.Fatalf("decoded state dim %d", len(state))
-			}
-			frameLen := 4 + len(state)*8
-			if got := appendRequest(nil, state); !bytes.Equal(got, data[off:off+frameLen]) {
-				t.Fatalf("re-encode of %d-dim frame at %d differs from wire bytes", len(state), off)
-			}
-			off += frameLen
 		}
 	})
 }
@@ -61,21 +75,57 @@ func FuzzAgentRPCDecode(f *testing.F) {
 // broken pair of inverse bugs.
 func TestRequestRoundTrip(t *testing.T) {
 	state := []float64{0, -1, math.Inf(1), 1e-300, math.Float64frombits(0x7ff8000000000001)}
-	frame := appendRequest(nil, state)
-	if len(frame) != 4+8*len(state) {
-		t.Fatalf("frame length %d", len(frame))
+	raw := appendRequest(nil, state)
+	if len(raw) != 4+8*len(state) {
+		t.Fatalf("frame length %d", len(raw))
 	}
-	dec := newRequestReader(bytes.NewReader(frame))
-	got, ping, err := dec.next()
-	if err != nil || ping {
-		t.Fatalf("decode: ping=%v err=%v", ping, err)
+	dec := newRequestReader(bytes.NewReader(raw))
+	fr, err := dec.next()
+	if err != nil || fr.kind != frameDecide {
+		t.Fatalf("decode: kind=%v err=%v", fr.kind, err)
 	}
-	if len(got) != len(state) {
-		t.Fatalf("dim %d != %d", len(got), len(state))
+	if len(fr.state) != len(state) {
+		t.Fatalf("dim %d != %d", len(fr.state), len(state))
 	}
 	for i := range state {
-		if math.Float64bits(got[i]) != math.Float64bits(state[i]) {
-			t.Fatalf("value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(state[i]))
+		if math.Float64bits(fr.state[i]) != math.Float64bits(state[i]) {
+			t.Fatalf("value %d: %x != %x", i, math.Float64bits(fr.state[i]), math.Float64bits(state[i]))
+		}
+	}
+}
+
+// TestResponseRoundTrip pins the typed response frame both ways.
+func TestResponseRoundTrip(t *testing.T) {
+	for _, status := range []byte{statusOK, statusBusy, statusErr} {
+		raw := appendResponse(nil, status, 1.25, -0.5)
+		if len(raw) != respSize {
+			t.Fatalf("response length %d", len(raw))
+		}
+		var buf [respSize]byte
+		got, mu, delta, err := readResponse(bytes.NewReader(raw), &buf)
+		if err != nil || got != status || mu != 1.25 || delta != -0.5 {
+			t.Fatalf("round trip: status=%d mu=%v delta=%v err=%v", got, mu, delta, err)
+		}
+	}
+}
+
+// TestHelloRoundTrip pins the tenant frame, including truncation at
+// maxTenantLen.
+func TestHelloRoundTrip(t *testing.T) {
+	long := string(bytes.Repeat([]byte{'x'}, maxTenantLen+10))
+	for _, tenant := range []string{"", "flows-a", long} {
+		raw := appendHello(nil, tenant)
+		dec := newRequestReader(bytes.NewReader(raw))
+		fr, err := dec.next()
+		if err != nil || fr.kind != frameHello {
+			t.Fatalf("decode hello: kind=%v err=%v", fr.kind, err)
+		}
+		want := tenant
+		if len(want) > maxTenantLen {
+			want = want[:maxTenantLen]
+		}
+		if fr.tenant != want {
+			t.Fatalf("tenant %q != %q", fr.tenant, want)
 		}
 	}
 }

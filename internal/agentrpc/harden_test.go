@@ -43,15 +43,89 @@ func TestDialBackoffSuppressesDialStorm(t *testing.T) {
 		}
 	}
 	// 50 calls, each would previously have paid up to a full dial timeout.
-	// With backoff, at most a handful of dials fit in the elapsed window.
+	// With backoff, at most a handful of dials fit in the elapsed window
+	// (jittered waits are at least half the nominal backoff, hence base/2).
 	attempts := cl.DialAttempts() - before
 	elapsed := time.Since(start)
-	if max := 2 + int64(elapsed/dialBackoffBase); attempts > max {
+	if max := 2 + int64(elapsed/(dialBackoffBase/2)); attempts > max {
 		t.Fatalf("%d dial attempts in %v — backoff not suppressing the storm (max %d)",
 			attempts, elapsed, max)
 	}
 	if cl.FallbackDecisions() == 0 {
 		t.Fatal("no fallback decisions recorded")
+	}
+}
+
+// TestDialBackoffJitterDesynchronizes: a fleet of clients entering backoff
+// together must not redial in lockstep — each client's deterministic jitter
+// stream spreads the first retry across [base/2, base).
+func TestDialBackoffJitterDesynchronizes(t *testing.T) {
+	const fleet = 16
+	waits := make([]time.Duration, fleet)
+	distinct := map[time.Duration]bool{}
+	min, max := dialBackoffBase, time.Duration(0)
+	for i := 0; i < fleet; i++ {
+		c := &Client{rngState: uint64(i + 1)}
+		w := c.jitterBackoff(dialBackoffBase)
+		if w < dialBackoffBase/2 || w >= dialBackoffBase {
+			t.Fatalf("seed %d: wait %v outside [base/2, base)", i+1, w)
+		}
+		waits[i] = w
+		distinct[w] = true
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	if len(distinct) < fleet-2 {
+		t.Fatalf("only %d distinct waits across %d seeds — fleet still synchronized", len(distinct), fleet)
+	}
+	if spread := max - min; spread < dialBackoffBase/8 {
+		t.Fatalf("waits clustered within %v — jitter too weak to desynchronize", spread)
+	}
+	// Determinism: the same seed replays the same wait sequence.
+	a, b := &Client{rngState: 42}, &Client{rngState: 42}
+	for i := 0; i < 10; i++ {
+		if wa, wb := a.jitterBackoff(dialBackoffBase), b.jitterBackoff(dialBackoffBase); wa != wb {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, wa, wb)
+		}
+	}
+}
+
+// TestServerWriteDeadlineDropsStalledReader: a client that sends requests
+// but never drains its socket must cost the server one connection, not a
+// goroutine blocked in Write forever. net.Pipe is the vehicle because its
+// writes are synchronous — a real TCP socket buffers a 17-byte response and
+// the bug would never surface.
+func TestServerWriteDeadlineDropsStalledReader(t *testing.T) {
+	pl := newPipeListener()
+	srv := NewServer(pl, echoPolicy{}, Config{WriteTimeout: 50 * time.Millisecond})
+	defer srv.Close()
+
+	conn, err := pl.dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One decide request, then stall: never read the response.
+	if _, err := conn.Write(appendRequest(nil, []float64{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.WriteDrops() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never dropped the stalled reader")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The drop must reclaim the connection goroutine.
+	for srv.ActiveConns() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled connection still active after write drop")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -8,16 +8,68 @@ import (
 	"math"
 )
 
-// This file isolates the wire framing (request: u32 count | count × f64
-// state) into pure encode/decode helpers shared by the client and server —
-// and, because they take no sockets, directly fuzzable.
+// This file isolates the wire framing into pure encode/decode helpers shared
+// by the client and server — and, because they take no sockets, directly
+// fuzzable.
+//
+// Request stream (little endian), one frame per message:
+//
+//	decide: u32 count (1..maxStateDim) | count × f64 state
+//	ping:   u32 0
+//	hello:  u32 0xffffffff | u8 len | len × byte tenant name
+//
+// Response (always respSize bytes):
+//
+//	u8 status | f64 mu | f64 delta
+//
+// A decide is answered with statusOK and the decision, statusBusy when
+// admission control shed the request, or statusErr when the policy failed
+// (panic, non-finite output, server-side deadline). BUSY and ERR are *typed*
+// responses: the stream stays in sync and the connection stays usable, the
+// client just serves that one decision from its local fallback. A ping is
+// answered with statusOK and zeros. A hello carries the connection's tenant
+// label for per-tenant accounting and has no response.
 
 // errOversizedFrame reports a request whose count exceeds maxStateDim; the
 // server drops the connection on it rather than allocating attacker-chosen
 // amounts of memory.
 var errOversizedFrame = errors.New("agentrpc: request frame exceeds maxStateDim")
 
-// appendRequest appends the wire encoding of one request frame to dst and
+// Response status codes.
+const (
+	statusOK   byte = 0
+	statusBusy byte = 1 // admission control shed the request
+	statusErr  byte = 2 // policy panic, non-finite output, or serving deadline
+)
+
+// respSize is the fixed response frame length: status byte + two f64.
+const respSize = 1 + 8 + 8
+
+// helloMagic marks a tenant-hello frame. It deliberately decodes as an
+// impossible state count so old decoders reject rather than misparse it.
+const helloMagic = 0xffffffff
+
+// maxTenantLen bounds hello names (they become metric labels).
+const maxTenantLen = 255
+
+// frameKind discriminates decoded request frames.
+type frameKind uint8
+
+const (
+	frameDecide frameKind = iota
+	framePing
+	frameHello
+)
+
+// frame is one decoded request-stream message. state aliases the reader's
+// scratch buffer and is valid until the following next call.
+type frame struct {
+	kind   frameKind
+	state  []float64
+	tenant string
+}
+
+// appendRequest appends the wire encoding of one decide frame to dst and
 // returns the extended slice. An empty state encodes a ping.
 func appendRequest(dst []byte, state []float64) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(state)))
@@ -27,32 +79,74 @@ func appendRequest(dst []byte, state []float64) []byte {
 	return dst
 }
 
+// appendHello appends the wire encoding of a tenant-hello frame to dst.
+// Names longer than maxTenantLen are truncated.
+func appendHello(dst []byte, tenant string) []byte {
+	if len(tenant) > maxTenantLen {
+		tenant = tenant[:maxTenantLen]
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, helloMagic)
+	dst = append(dst, byte(len(tenant)))
+	return append(dst, tenant...)
+}
+
+// appendResponse appends the fixed-size response frame to dst.
+func appendResponse(dst []byte, status byte, mu, delta float64) []byte {
+	dst = append(dst, status)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(mu))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(delta))
+}
+
+// readResponse reads one response frame into buf and decodes it.
+func readResponse(r io.Reader, buf *[respSize]byte) (status byte, mu, delta float64, err error) {
+	if _, err = io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	mu = math.Float64frombits(binary.LittleEndian.Uint64(buf[1:]))
+	delta = math.Float64frombits(binary.LittleEndian.Uint64(buf[9:]))
+	return buf[0], mu, delta, nil
+}
+
 // requestReader decodes request frames from a byte stream, reusing its
 // scratch buffers across frames (the server keeps one per connection).
 type requestReader struct {
-	r   io.Reader
-	hdr [4]byte
-	raw []byte
-	buf []float64
+	r    io.Reader
+	hdr  [4]byte
+	raw  []byte
+	buf  []float64
+	name []byte
 }
 
 func newRequestReader(r io.Reader) *requestReader {
 	return &requestReader{r: r, raw: make([]byte, 0, 64*8), buf: make([]float64, 0, 64)}
 }
 
-// next reads one frame. It returns ping=true for a zero-count frame, or a
-// state slice valid until the following call. Errors are io errors from the
+// next reads one frame. The returned frame's state (and tenant backing
+// bytes) are valid until the following call. Errors are io errors from the
 // underlying reader or errOversizedFrame for a count above maxStateDim.
-func (d *requestReader) next() (state []float64, ping bool, err error) {
+func (d *requestReader) next() (frame, error) {
 	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
-		return nil, false, err
+		return frame{}, err
 	}
 	count := binary.LittleEndian.Uint32(d.hdr[:])
-	if count > maxStateDim {
-		return nil, false, fmt.Errorf("%w: count %d", errOversizedFrame, count)
-	}
-	if count == 0 {
-		return nil, true, nil
+	switch {
+	case count == 0:
+		return frame{kind: framePing}, nil
+	case count == helloMagic:
+		var ln [1]byte
+		if _, err := io.ReadFull(d.r, ln[:]); err != nil {
+			return frame{}, err
+		}
+		if cap(d.name) < int(ln[0]) {
+			d.name = make([]byte, ln[0])
+		}
+		d.name = d.name[:ln[0]]
+		if _, err := io.ReadFull(d.r, d.name); err != nil {
+			return frame{}, err
+		}
+		return frame{kind: frameHello, tenant: string(d.name)}, nil
+	case count > maxStateDim:
+		return frame{}, fmt.Errorf("%w: count %d", errOversizedFrame, count)
 	}
 	need := int(count) * 8
 	if cap(d.raw) < need {
@@ -60,11 +154,11 @@ func (d *requestReader) next() (state []float64, ping bool, err error) {
 	}
 	d.raw = d.raw[:need]
 	if _, err := io.ReadFull(d.r, d.raw); err != nil {
-		return nil, false, err
+		return frame{}, err
 	}
 	d.buf = d.buf[:0]
 	for i := 0; i < int(count); i++ {
 		d.buf = append(d.buf, math.Float64frombits(binary.LittleEndian.Uint64(d.raw[i*8:])))
 	}
-	return d.buf, false, nil
+	return frame{kind: frameDecide, state: d.buf}, nil
 }

@@ -23,6 +23,10 @@ type NNPolicy struct {
 	// scratch makes per-decision inference allocation-free. Lazily built so
 	// zero-value construction (NNPolicy{Net: ...}) keeps working.
 	scratch *nn.Scratch
+
+	// bscratch backs DecideBatch (see serving.go), grown on demand to the
+	// largest batch seen.
+	bscratch *nn.BatchScratch
 }
 
 // Decide implements Policy.

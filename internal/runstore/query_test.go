@@ -1,0 +1,197 @@
+package runstore
+
+import (
+	"testing"
+	"time"
+)
+
+// queryRecord builds a minimal record with the query-relevant fields pinned.
+func queryRecord(scenario string, schemes []string, digest uint64, checked bool, at time.Time) *Record {
+	rec := &Record{
+		Scenario:   scenario,
+		Schemes:    schemes,
+		Digest:     digest,
+		Checked:    checked,
+		AppendedAt: at.UnixNano(),
+		Seed:       digest ^ 0x5a5a,
+	}
+	rec.Key = KeyOf(appendRecord(nil, rec))
+	return rec
+}
+
+func keysOf(recs []*Record) map[Key]bool {
+	out := make(map[Key]bool, len(recs))
+	for _, r := range recs {
+		out[r.Key] = true
+	}
+	return out
+}
+
+// TestQueriesOnEmptyStore: every query on a fresh store answers empty, not
+// nil-panics or phantom records.
+func TestQueriesOnEmptyStore(t *testing.T) {
+	st := mustOpen(t, Options{Dir: t.TempDir()})
+	defer st.Close()
+	if got := st.ByScenario("anything"); len(got) != 0 {
+		t.Fatalf("ByScenario on empty store returned %d records", len(got))
+	}
+	if got := st.ByScheme("jury"); len(got) != 0 {
+		t.Fatalf("ByScheme on empty store returned %d records", len(got))
+	}
+	if got := st.ByDigest(42); len(got) != 0 {
+		t.Fatalf("ByDigest on empty store returned %d records", len(got))
+	}
+	if got := st.Between(time.Unix(0, 0), time.Now()); len(got) != 0 {
+		t.Fatalf("Between on empty store returned %d records", len(got))
+	}
+}
+
+// TestQueriesNoMatch: a populated store must answer empty for labels,
+// schemes, and digests it has never seen — including a digest value that IS
+// present but on an unchecked record (ByDigest only trusts checked runs).
+func TestQueriesNoMatch(t *testing.T) {
+	st := mustOpen(t, Options{Dir: t.TempDir()})
+	defer st.Close()
+	at := time.Unix(1700000000, 0)
+	putAll(t, st, []*Record{
+		queryRecord("fig6", []string{"jury", "cubic"}, 111, true, at),
+		queryRecord("fig10", []string{"bbr"}, 222, false, at.Add(time.Minute)),
+	})
+
+	if got := st.ByScenario("fig99"); len(got) != 0 {
+		t.Fatalf("unknown scenario matched %d records", len(got))
+	}
+	if got := st.ByScheme("vegas"); len(got) != 0 {
+		t.Fatalf("unknown scheme matched %d records", len(got))
+	}
+	if got := st.ByDigest(333); len(got) != 0 {
+		t.Fatalf("unknown digest matched %d records", len(got))
+	}
+	// Digest 222 exists but only on an unchecked record: it must not match.
+	if got := st.ByDigest(222); len(got) != 0 {
+		t.Fatalf("unchecked digest matched %d records", len(got))
+	}
+	if got := st.ByDigest(111); len(got) != 1 {
+		t.Fatalf("checked digest matched %d records, want 1", len(got))
+	}
+	// ByScheme matches membership, not the whole set.
+	if got := st.ByScheme("cubic"); len(got) != 1 || got[0].Scenario != "fig6" {
+		t.Fatalf("ByScheme(cubic) = %d records", len(got))
+	}
+}
+
+// TestBetweenBoundaries pins the [from, to) contract at exact nanosecond
+// boundaries: a record stamped at `from` is included, one at `to` is not.
+func TestBetweenBoundaries(t *testing.T) {
+	st := mustOpen(t, Options{Dir: t.TempDir()})
+	defer st.Close()
+	t0 := time.Unix(1700000000, 123456789)
+	t1 := t0.Add(time.Hour)
+	before := queryRecord("s", []string{"jury"}, 1, true, t0.Add(-time.Nanosecond))
+	atFrom := queryRecord("s", []string{"jury"}, 2, true, t0)
+	inside := queryRecord("s", []string{"jury"}, 3, true, t0.Add(30*time.Minute))
+	atTo := queryRecord("s", []string{"jury"}, 4, true, t1)
+	putAll(t, st, []*Record{before, atFrom, inside, atTo})
+
+	got := st.Between(t0, t1)
+	if len(got) != 2 {
+		t.Fatalf("Between returned %d records, want 2", len(got))
+	}
+	keys := keysOf(got)
+	if !keys[atFrom.Key] {
+		t.Fatal("record stamped exactly at `from` excluded — Between must be closed on the left")
+	}
+	if !keys[inside.Key] {
+		t.Fatal("record inside the window excluded")
+	}
+	if keys[atTo.Key] {
+		t.Fatal("record stamped exactly at `to` included — Between must be open on the right")
+	}
+	if keys[before.Key] {
+		t.Fatal("record before the window included")
+	}
+	// Degenerate windows are empty, never inverted.
+	if got := st.Between(t0, t0); len(got) != 0 {
+		t.Fatalf("empty window matched %d records", len(got))
+	}
+	if got := st.Between(t1, t0); len(got) != 0 {
+		t.Fatalf("inverted window matched %d records", len(got))
+	}
+}
+
+// TestQueriesSurviveCompaction: every query must answer identically before
+// compaction (records in the WAL), after Compact (records in the snapshot),
+// and after reopening from that snapshot.
+func TestQueriesSurviveCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, Options{Dir: dir})
+	recs := randRecords(99, 40)
+	base := time.Unix(1700000000, 0)
+	for i, r := range recs {
+		// Deterministic, distinct timestamps so Between slices mid-set.
+		r.AppendedAt = base.Add(time.Duration(i) * time.Second).UnixNano()
+	}
+	putAll(t, st, recs)
+
+	// Pick nontrivial query targets from the generated set, so the
+	// equivalence below is not an empty-vs-empty tautology.
+	scheme, digest := "", uint64(0)
+	for _, r := range recs {
+		if scheme == "" && len(r.Schemes) > 0 {
+			scheme = r.Schemes[0]
+		}
+		if digest == 0 && r.Checked {
+			digest = r.Digest
+		}
+	}
+	if scheme == "" || digest == 0 {
+		t.Fatal("generated set has no scheme or no checked record")
+	}
+
+	type snapshot struct {
+		scenario, scheme, digest, between map[Key]bool
+	}
+	capture := func(s *Store) snapshot {
+		return snapshot{
+			scenario: keysOf(s.ByScenario(recs[0].Scenario)),
+			scheme:   keysOf(s.ByScheme(scheme)),
+			digest:   keysOf(s.ByDigest(digest)),
+			between:  keysOf(s.Between(base.Add(10*time.Second), base.Add(30*time.Second))),
+		}
+	}
+	assertSame := func(label string, a, b map[Key]bool) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d records != %d", label, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("%s: record %v missing after compaction", label, k)
+			}
+		}
+	}
+	pre := capture(st)
+	if len(pre.between) != 20 {
+		t.Fatalf("Between window holds %d records, want 20", len(pre.between))
+	}
+
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	post := capture(st)
+	assertSame("ByScenario", pre.scenario, post.scenario)
+	assertSame("ByScheme", pre.scheme, post.scheme)
+	assertSame("ByDigest", pre.digest, post.digest)
+	assertSame("Between", pre.between, post.between)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, Options{Dir: dir})
+	defer st2.Close()
+	reopened := capture(st2)
+	assertSame("ByScenario/reopen", pre.scenario, reopened.scenario)
+	assertSame("ByScheme/reopen", pre.scheme, reopened.scheme)
+	assertSame("ByDigest/reopen", pre.digest, reopened.digest)
+	assertSame("Between/reopen", pre.between, reopened.between)
+}

@@ -98,6 +98,17 @@ func (h *Hub) preRegister() {
 	r.Histogram("rpc_decide_seconds", "client-observed decision round-trip latency", ExpBuckets(1e-5, 2, 16))
 	r.Gauge("rpc_server_decisions", "requests served by the local inference server")
 	r.Gauge("rpc_server_panics", "connections dropped by a panicking policy")
+	r.Gauge("rpc_server_batches", "policy executions (batched or single) run by the daemon")
+	r.Gauge("rpc_server_batched_requests", "requests that entered batch execution")
+	r.Gauge("rpc_server_shed", "requests shed with BUSY by admission control")
+	r.Gauge("rpc_server_nonfinite", "decisions suppressed by the non-finite output guard")
+	r.Gauge("rpc_server_swaps", "successful policy hot-swaps")
+	r.Gauge("rpc_server_rollbacks", "automatic policy-version rollbacks")
+	r.Gauge("rpc_server_timeouts", "requests that outlived the serving deadline")
+	r.Gauge("rpc_server_write_drops", "connections dropped by the response write deadline")
+	r.Gauge("rpc_server_queue_depth", "admitted requests awaiting batch execution")
+	r.Gauge("rpc_server_active_conns", "currently served connections")
+	r.Gauge("rpc_server_policy_version", "id of the serving policy version")
 	// exp domain
 	r.Counter("exp_runs_started_total", "scenario runs started")
 	r.Counter("exp_runs_finished_total", "scenario runs finished successfully")

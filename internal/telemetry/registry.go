@@ -235,7 +235,11 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 
 // GaugeFunc registers (or re-points) a callback-backed gauge. Re-pointing is
 // deliberate: each experiment run re-attaches its own live network, and the
-// debug page should show the most recent one.
+// debug page should show the most recent one. A callback also takes over a
+// plain Gauge pre-registered under the same name (preRegister publishes the
+// schema before the owning subsystem runs): the plain instrument is dropped
+// so exposition resolves the live callback instead of a stale zero, and the
+// name stays single in the exposition order.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	if r == nil {
 		return
@@ -245,7 +249,11 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	if !ok {
 		g = &gaugeFunc{name: name, help: help}
 		r.funcs[name] = g
-		r.addName(name)
+		if _, shadowed := r.gauges[name]; shadowed {
+			delete(r.gauges, name)
+		} else {
+			r.addName(name)
+		}
 	}
 	r.mu.Unlock()
 	g.mu.Lock()

@@ -61,3 +61,47 @@ func TestRPCInstrumentation(t *testing.T) {
 		t.Errorf("exposition missing live server gauge:\n%s", b.String())
 	}
 }
+
+// TestRPCDaemonInstrumentation exports the full daemon surface: batching,
+// hot-swap, and lazily registered per-tenant decision gauges.
+func TestRPCDaemonInstrumentation(t *testing.T) {
+	srv, err := agentrpc.Serve("127.0.0.1:0", fixedPolicy{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hub := &telemetry.Hub{Registry: telemetry.NewRegistry()}
+	hub.ExportRPCDaemon(srv)
+
+	// One labelled tenant (hook fires lazily on its hello) and one swap.
+	cl, err := agentrpc.DialConfig(srv.Addr(), fixedPolicy{-1, 0}, agentrpc.ClientConfig{Tenant: "flow a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 2; i++ {
+		if mu, _ := cl.Decide([]float64{0.1}); mu != 0.5 {
+			t.Fatalf("decision %d: mu = %v", i, mu)
+		}
+	}
+	if _, err := srv.Swap(fixedPolicy{0.7, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b bytes.Buffer
+	if err := hub.Registry.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"rpc_server_batched_requests 2",
+		"rpc_server_swaps 1",
+		"rpc_server_policy_version 2",
+		"rpc_tenant_decisions_flow_a 2", // label sanitized for the exposition
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -118,6 +118,37 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestGaugeFuncTakesOverPreRegisteredGauge: preRegister publishes plain
+// gauges for the whole schema before subsystems attach; when the owning
+// subsystem later registers the live callback under the same name, the
+// exposition must show the callback's value exactly once — not a stale
+// zero, and not a duplicate series.
+func TestGaugeFuncTakesOverPreRegisteredGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("rpc_server_decisions", "requests served")
+	r.GaugeFunc("rpc_server_decisions", "requests served", func() float64 { return 827 })
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "\nrpc_server_decisions "); n != 1 {
+		t.Fatalf("gauge exposed %d times, want 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, "rpc_server_decisions 827\n") {
+		t.Fatalf("callback value shadowed by the pre-registered gauge:\n%s", out)
+	}
+
+	b.Reset()
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"rpc_server_decisions": 827`) {
+		t.Fatalf("JSON exposition shadowed the callback:\n%s", b.String())
+	}
+}
+
 func TestJSONExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("runs_total", "runs").Inc()

@@ -16,7 +16,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkEngineSchedule|BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkReplaySample|BenchmarkTD3Update|BenchmarkScenario'
+BENCHES='BenchmarkEngineSchedule|BenchmarkMLPForward|BenchmarkMLPBackward|BenchmarkReplaySample|BenchmarkTD3Update|BenchmarkScenario|BenchmarkServeBatch'
 
 MODE=record
 case "${1:-}" in
@@ -32,7 +32,8 @@ if [ "$MODE" = smoke ]; then
     # is scaled down from its default 10k flows unless the caller overrides.
     JURY_HUGE_FLOWS=${JURY_HUGE_FLOWS:-400} \
     go test -run '^$' -bench "$BENCHES" -benchtime 1x -benchmem \
-        ./internal/simcore ./internal/nn ./internal/rl ./internal/exp >/dev/null
+        ./internal/simcore ./internal/nn ./internal/rl ./internal/exp \
+        ./internal/agentrpc >/dev/null
     echo "bench smoke OK"
     exit 0
 fi
@@ -49,6 +50,10 @@ go test -run '^$' -bench 'BenchmarkScenario$' -benchtime 3x -benchmem ./internal
 # a single iteration is already millions of events, and the events/sec column
 # is the figure of merit for the sharded engine.
 go test -run '^$' -bench 'BenchmarkScenarioHuge' -benchtime 1x -benchmem ./internal/exp | tee -a "$TMP"
+# The inference-daemon serving path: decisions/sec through the batcher at
+# batch sizes 1, 64, and 1024 (single-request latency floor up to full GEMM
+# coalescing).
+go test -run '^$' -bench 'BenchmarkServeBatch' -benchmem ./internal/agentrpc | tee -a "$TMP"
 
 # The _meta entry records provenance (plus free-form NOTES from the caller,
 # e.g. shard-count speedup observations); --compare's parser only loads lines
@@ -65,18 +70,20 @@ BEGIN {
 }
 /^Benchmark/ {
     name = $1
-    nsop = ""; bop = ""; allocs = ""; eps = ""
+    nsop = ""; bop = ""; allocs = ""; eps = ""; dps = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") nsop = $(i - 1)
         if ($(i) == "B/op") bop = $(i - 1)
         if ($(i) == "allocs/op") allocs = $(i - 1)
         if ($(i) == "events/sec") eps = $(i - 1)
+        if ($(i) == "decisions/sec") dps = $(i - 1)
     }
     if (nsop == "") next
     if (!first) printf ",\n"
     first = 0
     printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
     if (eps != "") printf ", \"events_per_sec\": %s", eps
+    if (dps != "") printf ", \"decisions_per_sec\": %s", dps
     if (bop != "") printf ", \"bytes_per_op\": %s", bop
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
@@ -93,6 +100,10 @@ fi
 
 # --compare: fresh run vs recorded baseline. ns/op gets 20% headroom (shared
 # machines throttle); allocs/op is exact — the pooling work must never rot.
+# The huge-mesh benchmarks run a single iteration of 8 goroutines on whatever
+# cores the container grants that second, so their wall time swings ±40%
+# run-to-run: they get 2x headroom (their regression signal is allocs/op and
+# the recorded events/sec trend, not a 1-iteration timing).
 BASE=${BASE:-BENCH_harness.json}
 if [ ! -f "$BASE" ]; then
     echo "bench.sh --compare: baseline $BASE not found" >&2
@@ -120,7 +131,8 @@ END {
     for (n in ns) {
         if (!(n in bns)) { printf "NEW   %-50s %12s ns/op\n", n, ns[n]; continue }
         status = "ok"
-        if (bns[n] + 0 > 0 && ns[n] + 0 > bns[n] * 1.20) {
+        headroom = (n ~ /ScenarioHuge/) ? 2.00 : 1.20
+        if (bns[n] + 0 > 0 && ns[n] + 0 > bns[n] * headroom) {
             status = "SLOWER"; bad = 1
         }
         if (al[n] != "" && bal[n] != "" && al[n] + 0 > bal[n] + 0) {

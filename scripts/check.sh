@@ -43,6 +43,9 @@ go test -race -run '^TestSharded' -count=1 ./internal/simcheck
 echo "== telemetry: disabled-path zero-alloc + digest parity"
 go test -run '^(TestDisabledZeroAlloc|TestEnabledEventZeroAlloc|TestNilSafety|TestTelemetryDigestParity)$' -count=1 ./internal/telemetry
 
+echo "== inference daemon: chaos matrix under the race detector"
+go test -race -run '^(TestChaos|TestClientShedsAboveMaxPending|TestServerWriteDeadlineDropsStalledReader|TestDialBackoffJitterDesynchronizes|TestRuntimeNonFiniteRollsBack|TestDrainAnswersInFlight)' -count=1 ./internal/agentrpc
+
 echo "== run store: crash matrix + bit-flip sweep under the race detector"
 go test -race -short -run '^(TestCrashMatrix|TestCompactionCrashMatrix|TestBitFlipSweep)$' -count=1 ./internal/runstore
 
