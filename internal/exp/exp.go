@@ -321,6 +321,7 @@ func Run(s Scenario) (*RunResult, error) {
 			return nil, fmt.Errorf("exp: scenario %q: %w", s.Name, err)
 		}
 		telemetry.RecordShards(hub, sr.Executed)
+		telemetry.RecordCoordinator(hub, sr.BarrierRounds, sr.FusedWindows)
 	} else {
 		n.Run(s.Horizon)
 	}

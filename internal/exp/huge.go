@@ -38,6 +38,11 @@ type HugeOptions struct {
 	TotalFlows int
 	// Rate is each segment's capacity in bits/second (default 1 Gbps).
 	Rate float64
+	// BufferBytes overrides each segment's queue capacity (default ~1 BDP at
+	// a 30 ms RTT: Rate/8 · 0.030). The reduced-flow digest-parity smoke runs
+	// deep-buffered so slow-start overshoot cannot cause drops — a drop on a
+	// foreign shard is the one documented sequential/sharded divergence.
+	BufferBytes int
 	// Horizon is the simulated duration (default 2 s).
 	Horizon time.Duration
 	// Shards caps the shard count for RunSharded (default 1 = sequential).
@@ -68,6 +73,9 @@ func (o *HugeOptions) defaults() {
 	}
 	if o.Rate <= 0 {
 		o.Rate = 1e9
+	}
+	if o.BufferBytes <= 0 {
+		o.BufferBytes = int(o.Rate / 8 * 0.030) // ~1 BDP at 30 ms RTT
 	}
 	if o.Horizon <= 0 {
 		o.Horizon = 2 * time.Second
@@ -109,7 +117,7 @@ func BuildHuge(o HugeOptions) (*netsim.Network, HugeOptions) {
 			// Distinct positive delays keep every inter-segment edge cuttable
 			// and give the partition a nontrivial lookahead matrix.
 			Delay:       time.Duration(5+i%4) * time.Millisecond,
-			BufferBytes: int(o.Rate / 8 * 0.030), // ~1 BDP at 30 ms RTT
+			BufferBytes: o.BufferBytes,
 		})
 	}
 	// Stagger starts across the first quarter of the horizon so the engine
@@ -117,7 +125,6 @@ func BuildHuge(o HugeOptions) (*netsim.Network, HugeOptions) {
 	stagger := o.Horizon / 4 / time.Duration(o.TotalFlows)
 	for i := 0; i < o.TotalFlows; i++ {
 		seed := o.Seed*1_000_003 + uint64(i) + 1
-		alg := o.CC(seed)
 		var path []*netsim.Link
 		if i%spanStride == 0 {
 			// Spanning flow: 2–4 consecutive segments starting at a rotating
@@ -131,11 +138,13 @@ func BuildHuge(o HugeOptions) (*netsim.Network, HugeOptions) {
 		} else {
 			path = links[i%o.Segments : i%o.Segments+1]
 		}
+		// Nameless flows with a direct Alg handle: at a million flows, the
+		// per-flow Sprintf name and factory closure would be three heap
+		// allocations each for values the mesh never reads.
 		n.AddFlow(netsim.FlowConfig{
-			Name:  fmt.Sprintf("h%d", i),
 			Path:  path,
 			Start: time.Duration(i) * stagger,
-			CC:    func() cc.Algorithm { return alg },
+			Alg:   o.CC(seed),
 		})
 	}
 	return n, o

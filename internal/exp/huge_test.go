@@ -2,6 +2,9 @@ package exp
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -102,6 +105,70 @@ func TestHugeShardedDigestParity(t *testing.T) {
 	}
 }
 
+// TestHugeEnvShardedDigestParity is the reduced-flow smoke gate check.sh runs
+// under -race with JURY_HUGE_FLOWS=5000: a loss-free mesh built through the
+// environment override (TotalFlows left zero) must digest identically
+// sequentially and at 4 shards. Without the variable set it pins a small
+// population itself so the ordinary test run stays fast.
+func TestHugeEnvShardedDigestParity(t *testing.T) {
+	if os.Getenv(HugeFlowsEnv) == "" {
+		t.Setenv(HugeFlowsEnv, "600")
+	}
+	want, _ := strconv.Atoi(os.Getenv(HugeFlowsEnv))
+	opt := HugeOptions{
+		// Capacity scales with the population so per-flow bandwidth stays
+		// constant, and the buffers are 4 BDP deep so slow-start overshoot
+		// during the staggered ramp is absorbed: vegas then keeps queues
+		// shallow and the run stays drop-free, as the digest-parity contract
+		// requires (a drop on a foreign shard is the one documented
+		// sequential/sharded divergence).
+		Rate:        2e6 * float64(want),
+		BufferBytes: int(2e6 * float64(want) / 8 * 0.120),
+		Horizon:     700 * time.Millisecond,
+		Seed:        11,
+		Check:       true,
+		CC:          func(uint64) cc.Algorithm { return vegas.New() },
+	}
+	one := opt
+	one.Shards = 1
+	a, err := RunHuge(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := opt
+	four.Shards = 4
+	b, err := RunHuge(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FlowCount != want || b.FlowCount != want {
+		t.Fatalf("env-driven flow counts %d/%d, want %d from %s", a.FlowCount, b.FlowCount, want, HugeFlowsEnv)
+	}
+	if b.ShardCount != 4 {
+		t.Fatalf("sharded run used %d shards, want 4", b.ShardCount)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("event counts diverged: %d vs %d", a.Events, b.Events)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digest diverged: shards=1 %016x, shards=4 %016x", a.Digest, b.Digest)
+	}
+}
+
+// TestHugeFlowsEnvWiring pins the precedence of the flow-population override:
+// the environment variable applies exactly when TotalFlows is zero.
+func TestHugeFlowsEnvWiring(t *testing.T) {
+	t.Setenv(HugeFlowsEnv, "123")
+	n, o := BuildHuge(HugeOptions{})
+	if len(n.Flows()) != 123 || o.TotalFlows != 123 {
+		t.Fatalf("env override built %d flows (resolved %d), want 123", len(n.Flows()), o.TotalFlows)
+	}
+	n, o = BuildHuge(HugeOptions{TotalFlows: 48})
+	if len(n.Flows()) != 48 || o.TotalFlows != 48 {
+		t.Fatalf("explicit TotalFlows built %d flows (resolved %d), want 48", len(n.Flows()), o.TotalFlows)
+	}
+}
+
 // TestHugeBuildShape pins the mesh's structure: flow population, spanning
 // flows, and that the chain partitions into the requested shard count.
 func TestHugeBuildShape(t *testing.T) {
@@ -133,10 +200,40 @@ func TestHugeBuildShape(t *testing.T) {
 	}
 }
 
+// liveBytesPerFlow builds a mesh of the resolved default population (so
+// JURY_HUGE_FLOWS applies) and reports the live heap bytes it retains per
+// flow after a full collection — the flyweight figure bench.sh records and
+// gates under --compare.
+func liveBytesPerFlow() float64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	n, o := BuildHuge(HugeOptions{Seed: 7})
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc <= before.HeapAlloc {
+		return 0
+	}
+	bpf := float64(after.HeapAlloc-before.HeapAlloc) / float64(o.TotalFlows)
+	runtime.KeepAlive(n)
+	return bpf
+}
+
+// reportMemory attaches the memory metrics to a benchmark: live bytes per
+// built flow and the heap's OS-level high-water mark over the run so far.
+func reportMemory(b *testing.B) {
+	b.ReportMetric(liveBytesPerFlow(), "bytes/flow")
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapSys), "peak-heap-bytes")
+}
+
 // BenchmarkScenarioHuge measures the sharded engine on the parking-lot mesh
 // (JURY_HUGE_FLOWS flows, default 10_000) at 1/2/4/8 shards. The headline
 // metric is events/sec; speedup over shards=1 requires a multi-core runner —
-// on one core the extra shards only add synchronization overhead.
+// on one core the extra shards only add synchronization overhead. Each shard
+// count also reports bytes/flow (live heap per built flow) and
+// peak-heap-bytes so memory regressions gate alongside throughput.
 func BenchmarkScenarioHuge(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
@@ -149,7 +246,56 @@ func BenchmarkScenarioHuge(b *testing.B) {
 				}
 				events += res.Events
 			}
+			b.StopTimer()
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			reportMemory(b)
 		})
 	}
+}
+
+// MillionFlowsEnv overrides BenchmarkScenarioMillion's flow population
+// (default 1_000_000); bench.sh smoke runs set it low.
+const MillionFlowsEnv = "JURY_MILLION_FLOWS"
+
+// BenchmarkScenarioMillion is the million-flow capacity proof: one sharded
+// run of the parking-lot mesh at 8 shards with a shortened horizon, reporting
+// events/sec, bytes/flow, and peak heap. Run it with -benchtime 1x; a full
+// million-flow iteration is minutes, not microseconds.
+func BenchmarkScenarioMillion(b *testing.B) {
+	flows := 1_000_000
+	if v, err := strconv.Atoi(os.Getenv(MillionFlowsEnv)); err == nil && v > 0 {
+		flows = v
+	}
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunHuge(HugeOptions{
+			TotalFlows: flows,
+			Shards:     8,
+			Horizon:    500 * time.Millisecond,
+			Seed:       7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+
+	// The bytes/flow probe builds at the benchmark's own scale so the figure
+	// reflects million-flow packing, not the 10k default.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	n, _ := BuildHuge(HugeOptions{TotalFlows: flows, Seed: 7})
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc {
+		b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc)/float64(flows), "bytes/flow")
+	}
+	runtime.KeepAlive(n)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapSys), "peak-heap-bytes")
 }

@@ -28,7 +28,8 @@ import (
 // Old records stay readable (the record format is versioned separately) but
 // stop matching, so they are re-run and re-stored — exactly the safe
 // behavior when the meaning of a key changes.
-const KeySchemaVersion = 1
+// Version history: 2 added HugeOptions.BufferBytes to the huge key.
+const KeySchemaVersion = 2
 
 // Store, when non-nil, records every completed cacheable run. StoreResume
 // additionally serves runs whose key is already stored without simulating.
@@ -208,6 +209,7 @@ func HugeKey(o HugeOptions, customCC bool) (key runstore.Key, ok bool) {
 	b = keyU32(b, uint32(o.Segments))
 	b = keyU32(b, uint32(o.TotalFlows))
 	b = keyF64(b, o.Rate)
+	b = keyI64(b, int64(o.BufferBytes))
 	b = keyI64(b, int64(o.Horizon))
 	b = keyU32(b, uint32(o.Shards))
 	b = keyU64(b, o.Seed)

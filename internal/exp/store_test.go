@@ -359,10 +359,10 @@ func keyStabilityScenarios() []Scenario {
 // JURY_PRINT_KEYS=1 go test -run TestScenarioKeyStability -v ./internal/exp.
 func TestScenarioKeyStability(t *testing.T) {
 	want := map[string]string{
-		"canon-basic":       "db2b5b65ccdab801ad0ef235a46e5ffd07819aca819dcb116955214d02425b26",
-		"canon-faults":      "3a7fbef231a4a49d0294a55f58c0d4cce545ebfa23b8d9b8d3adb8c7e4c4c050",
-		"canon-const-trace": "4a923216e019651fb9ea7810e39be60d904af083d1dec57eea8e6ce3f5e47433",
-		"canon-step-trace":  "307cac8fe58e6cf74c0b536d6a99f10b2f480cf87b3469ad8ff0460ae46bcb16",
+		"canon-basic":       "1d59e6e02e67229dd6709bed1670c4081e42bf5ab4c981f7d2066184bce45445",
+		"canon-faults":      "9cb0d094cc296f6f64a72370909da76a224d647f525f998dae0aca799b3697ba",
+		"canon-const-trace": "02bb19bbc0c3fc04a5a193b6880d5fc22003851d74b3af2129c4d3dd7e8c6638",
+		"canon-step-trace":  "e21ef44acf5cf3fa976bd8511b9a6b8514a23760f247c1a6ffc1e596612da5a7",
 	}
 	for _, s := range keyStabilityScenarios() {
 		key, ok := ScenarioKey(s)
@@ -384,7 +384,7 @@ func TestScenarioKeyStability(t *testing.T) {
 	if !ok {
 		t.Fatal("canonical huge options not cacheable")
 	}
-	const wantHuge = "dafba04c2037c5a05b5c4d4b9ff9c079a6d470d33ea64d3bf77b9eeb0a3ed73b"
+	const wantHuge = "891f016829bbcea1059c1792e1c0778321e9e76fbf6a31a8fe0a4ceec71932ef"
 	if os.Getenv("JURY_PRINT_KEYS") != "" {
 		t.Logf("huge: %q,", hkey.String())
 	} else if hkey.String() != wantHuge {

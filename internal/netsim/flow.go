@@ -15,8 +15,13 @@ type FlowConfig struct {
 	Name string
 	// Path is the ordered list of links the flow's packets traverse.
 	Path []*Link
-	// CC constructs the flow's congestion controller.
+	// CC constructs the flow's congestion controller. Exactly one of CC and
+	// Alg must be set; CC wins if both are.
 	CC func() cc.Algorithm
+	// Alg is the flow's congestion controller, pre-constructed. Bulk
+	// scenario builders use it to hand each flow its controller without
+	// wrapping every one in a factory closure.
+	Alg cc.Algorithm
 	// Start is when the flow begins sending.
 	Start time.Duration
 	// Duration bounds the sending period; zero means "until the horizon".
@@ -29,9 +34,9 @@ type FlowConfig struct {
 	PacketSize int
 }
 
-// packet is one in-flight segment. Packets are pooled per flow: a packet is
-// recycled once it terminates (ACKed or loss-detected), so steady-state
-// sending allocates nothing per packet.
+// packet is one in-flight segment. Packets are pooled per shard (see
+// pktArena): a packet is recycled once it terminates (ACKed or
+// loss-detected), so steady-state sending allocates nothing per packet.
 type packet struct {
 	flow    *Flow
 	size    int
@@ -49,6 +54,40 @@ type packet struct {
 	// serialization time on one link but is invisible to the sender's
 	// accounting (never counted sent/acked/lost, discarded after departure).
 	dup bool
+}
+
+// pktArena pools packets for every flow and link that runs on one shard.
+// Pooling per shard rather than per flow keeps the pooled population
+// proportional to the shard's peak in-flight packets instead of reserving a
+// private slab per flow — the difference between megabytes and gigabytes at
+// a million flows. Exactly one shard goroutine ever touches an arena: flows
+// allocate at send and release at ACK/loss on their own shard, and
+// fault-injected duplicate copies are cloned and released on the owning
+// link's shard.
+type pktArena struct {
+	free []*packet
+	slab []packet // backing block the pool grows from, 256 at a time
+}
+
+func (a *pktArena) alloc() *packet {
+	var p *packet
+	if n := len(a.free); n > 0 {
+		p = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+	} else {
+		if len(a.slab) == 0 {
+			a.slab = make([]packet, 256)
+		}
+		p = &a.slab[0]
+		a.slab = a.slab[1:]
+	}
+	return p
+}
+
+func (a *pktArena) release(p *packet) {
+	p.flow = nil
+	a.free = append(a.free, p)
 }
 
 // SeriesPoint is one sample of a flow's recorded time series.
@@ -100,57 +139,63 @@ func (a *intervalAgg) addAck(bytes int, rtt time.Duration) {
 	}
 }
 
-// Flow is a bulk sender driving one cc.Algorithm.
+// Shared event dispatchers. Flow and packet events schedule these
+// package-level functions with the flow (or packet) as the ScheduleArg
+// payload, instead of binding a closure per flow: the flyweight makes a
+// Flow carry no per-instance callback state — at a million flows, the six
+// closures the struct used to hold were six heap objects and ~100 B each,
+// all pointing at identical code. A static func value assigned into a
+// func(any) field or interface allocates nothing, and a pointer payload in
+// an any allocates nothing either, so the per-event path stays
+// allocation-free.
+func flowAdvance(a any)      { p := a.(*packet); p.flow.advance(p) }
+func flowAck(a any)          { p := a.(*packet); p.flow.onAck(p) }
+func flowLossDetected(a any) { p := a.(*packet); p.flow.onLossDetected(p) }
+func flowTrySend(a any)      { a.(*Flow).trySend() }
+func flowIntervalTick(a any) { a.(*Flow).intervalTick() }
+func flowRecordTick(a any)   { a.(*Flow).recordTick() }
+func flowStart(a any)        { a.(*Flow).start() }
+func flowStop(a any)         { a.(*Flow).stop() }
+
+// Flow is a bulk sender driving one cc.Algorithm. Flows are bulk-allocated
+// from the network's slab (see Network.AddFlow) and their fields are
+// grouped hot-first: everything the per-packet path (trySend, advance,
+// onAck) touches sits at the front of the struct so a million-flow working
+// set wastes as little cache as possible on cold configuration state.
 type Flow struct {
-	net *Network
-	cfg FlowConfig
-	rng *simcore.RNG
-	alg cc.Algorithm
-
-	// eng is the engine all of this flow's events run on: the network's
-	// single engine normally, the owning shard's engine in a sharded run
-	// (the flow is co-located with its first link, so handing a fresh packet
-	// to Path[0] never crosses shards). shard is the owning shard's index
-	// (0 in sequential runs).
-	eng   *simcore.Engine
-	shard int
-
-	pktSize    int
-	returnLeg  time.Duration // ack path delay: Σ link prop + ExtraOneWay
-	baseRTT    time.Duration // 2·(Σ link prop + ExtraOneWay)
-	active     bool
-	started    bool
-	stopAt     time.Duration
+	// Hot: per-packet path state.
+	alg        cc.Algorithm
+	eng        *simcore.Engine // this flow's engine (its shard's, when sharded)
+	arena      *pktArena       // its shard's packet pool
 	inflight   int
+	pktSize    int
 	nextSendAt time.Duration
 	sendTimer  simcore.Timer
+	srtt       time.Duration
+	minRTT     time.Duration
+	rng        simcore.RNG // pacing jitter stream; by value — 8 bytes, no pointer chase
+	rec        intervalAgg // feeds the recorded series
+	active     bool
+	started    bool
+	shard      int
 
-	// Long-lived event callbacks (built once in newFlow) plus a packet
-	// free-list: together they make the per-packet event path allocation-free
-	// (see simcore.Engine.ScheduleArg).
-	advanceFn  func(any)
-	onAckFn    func(any)
-	onLossFn   func(any)
-	trySendFn  func(any)
-	intervalFn func(any)
-	recordFn   func(any)
-	pktFree    []*packet
-	pktSlab    []packet // backing block the free-list grows from, 64 at a time
+	// Warm: per-ACK/loss and tick state.
+	tracker   *intervalTracker // send-interval attribution for interval schemes
+	returnLeg time.Duration    // ack path delay: Σ link prop + ExtraOneWay
+	baseRTT   time.Duration    // 2·(Σ link prop + ExtraOneWay)
+	stopAt    time.Duration
 
-	srtt   time.Duration
-	minRTT time.Duration
-
-	tracker *intervalTracker // send-interval attribution for interval schemes
-	rec     intervalAgg      // feeds the recorded series
-
-	// lifetime totals
+	// Cold: configuration, lifetime totals, recorded output.
+	net    *Network
+	cfg    FlowConfig
 	total  intervalAgg
 	rttAll time.Duration // Σ RTT for mean over all acks
-
 	series []SeriesPoint
 }
 
-func newFlow(n *Network, cfg FlowConfig, rng *simcore.RNG) *Flow {
+// initFlow constructs a flow in place (the storage comes from the network's
+// flow slab).
+func initFlow(f *Flow, n *Network, cfg FlowConfig, rng simcore.RNG) {
 	if cfg.PacketSize <= 0 {
 		cfg.PacketSize = DefaultPacketSize
 	}
@@ -158,23 +203,21 @@ func newFlow(n *Network, cfg FlowConfig, rng *simcore.RNG) *Flow {
 	for _, l := range cfg.Path {
 		prop += l.cfg.Delay
 	}
-	f := &Flow{
+	alg := cfg.Alg
+	if cfg.CC != nil {
+		alg = cfg.CC()
+	}
+	*f = Flow{
 		net:       n,
 		cfg:       cfg,
 		rng:       rng,
 		eng:       n.eng,
-		alg:       cfg.CC(),
+		arena:     &n.seqArena,
+		alg:       alg,
 		pktSize:   cfg.PacketSize,
 		returnLeg: prop + cfg.ExtraOneWay,
 		baseRTT:   2 * (prop + cfg.ExtraOneWay),
 	}
-	f.advanceFn = func(a any) { f.advance(a.(*packet)) }
-	f.onAckFn = func(a any) { f.onAck(a.(*packet)) }
-	f.onLossFn = func(a any) { f.onLossDetected(a.(*packet)) }
-	f.trySendFn = func(any) { f.trySend() }
-	f.intervalFn = func(any) { f.intervalTick() }
-	f.recordFn = func(any) { f.recordTick() }
-	return f
 }
 
 // Name returns the flow's configured name.
@@ -199,7 +242,10 @@ func (f *Flow) Now() time.Duration { return f.eng.Now() }
 func (f *Flow) Series() []SeriesPoint { return f.series }
 
 // reserveSeries sizes the series backing array to record through the given
-// horizon, so recordTick appends never reallocate mid-run.
+// horizon, so recordTick appends never reallocate mid-run. Fresh flows are
+// carved out of the network's shared backing block (one allocation per
+// ~16k samples instead of one per flow); a flow that already recorded
+// samples grows privately.
 func (f *Flow) reserveSeries(horizon time.Duration) {
 	end := horizon
 	if f.cfg.Duration > 0 && f.cfg.Start+f.cfg.Duration < end {
@@ -210,6 +256,10 @@ func (f *Flow) reserveSeries(horizon time.Duration) {
 	}
 	need := int((end-f.cfg.Start)/f.net.cfg.RecordInterval) + 2
 	if cap(f.series)-len(f.series) >= need {
+		return
+	}
+	if len(f.series) == 0 {
+		f.series = f.net.carveSeries(need)
 		return
 	}
 	s := make([]SeriesPoint, len(f.series), len(f.series)+need)
@@ -223,7 +273,7 @@ func (f *Flow) armStart() {
 		return
 	}
 	f.started = true
-	f.eng.Schedule(f.cfg.Start, f.start)
+	f.eng.ScheduleArg(f.cfg.Start, flowStart, f)
 }
 
 func (f *Flow) start() {
@@ -231,14 +281,14 @@ func (f *Flow) start() {
 	f.active = true
 	if f.cfg.Duration > 0 {
 		f.stopAt = f.cfg.Start + f.cfg.Duration
-		f.eng.Schedule(f.stopAt, f.stop)
+		f.eng.ScheduleArg(f.stopAt, flowStop, f)
 	}
 	f.alg.Init(now)
 	if ia, ok := f.alg.(cc.IntervalAlgorithm); ok {
 		f.tracker = newIntervalTracker(ia)
-		f.eng.ScheduleArgAfter(f.tracker.interval, f.intervalFn, nil)
+		f.eng.ScheduleArgAfter(f.tracker.interval, flowIntervalTick, f)
 	}
-	f.eng.ScheduleArgAfter(f.net.cfg.RecordInterval, f.recordFn, nil)
+	f.eng.ScheduleArgAfter(f.net.cfg.RecordInterval, flowRecordTick, f)
 	f.trySend()
 }
 
@@ -257,7 +307,7 @@ func (f *Flow) intervalTick() {
 	now := f.eng.Now()
 	f.tracker.closeCurrent(f, now)
 	f.tracker.tryDeliver(f, now)
-	f.eng.ScheduleArgAfter(f.tracker.interval, f.intervalFn, nil)
+	f.eng.ScheduleArgAfter(f.tracker.interval, flowIntervalTick, f)
 }
 
 func (f *Flow) recordTick() {
@@ -279,7 +329,7 @@ func (f *Flow) recordTick() {
 	}
 	f.series = append(f.series, p)
 	f.rec.reset()
-	f.eng.ScheduleArgAfter(iv, f.recordFn, nil)
+	f.eng.ScheduleArgAfter(iv, flowRecordTick, f)
 }
 
 func lossRate(lost, acked int64) float64 {
@@ -331,26 +381,14 @@ func (f *Flow) trySend() {
 
 func (f *Flow) armSendTimer(at time.Duration) {
 	f.sendTimer.Cancel()
-	f.sendTimer = f.eng.ScheduleArg(at, f.trySendFn, nil)
+	f.sendTimer = f.eng.ScheduleArg(at, flowTrySend, f)
 }
 
-// allocPacket takes a packet from the flow's free-list (or allocates one).
+// allocPacket takes a packet from the shard's arena and stamps it for this
+// flow.
 func (f *Flow) allocPacket(now time.Duration) *packet {
-	var p *packet
-	if n := len(f.pktFree); n > 0 {
-		p = f.pktFree[n-1]
-		f.pktFree[n-1] = nil
-		f.pktFree = f.pktFree[:n-1]
-	} else {
-		// Free-list miss: carve from the slab so growing the in-flight
-		// population costs one allocation per 64 packets, not per packet.
-		if len(f.pktSlab) == 0 {
-			f.pktSlab = make([]packet, 64)
-		}
-		p = &f.pktSlab[0]
-		f.pktSlab = f.pktSlab[1:]
-		p.flow = f
-	}
+	p := f.arena.alloc()
+	p.flow = f
 	p.size = f.pktSize
 	p.sentAt = now
 	p.hop = -1
@@ -361,7 +399,7 @@ func (f *Flow) allocPacket(now time.Duration) *packet {
 
 // releasePacket recycles a terminated packet (ACKed or loss-detected).
 func (f *Flow) releasePacket(p *packet) {
-	f.pktFree = append(f.pktFree, p)
+	f.arena.release(p)
 }
 
 // lossDetectDelay is the time between a drop and the sender noticing it
@@ -393,7 +431,7 @@ func (f *Flow) sendPacket(now time.Duration) {
 		tap.PacketSent(f, p.size)
 	}
 	if f.cfg.ExtraOneWay > 0 {
-		f.eng.ScheduleArgAfter(f.cfg.ExtraOneWay, f.advanceFn, p)
+		f.eng.ScheduleArgAfter(f.cfg.ExtraOneWay, flowAdvance, p)
 	} else {
 		f.advance(p)
 	}
@@ -413,10 +451,10 @@ func (f *Flow) advance(p *packet) {
 	// sharded run the sender may live on another shard (the return leg spans
 	// the whole path, so it is always ≥ the inter-shard lookahead).
 	if last := f.cfg.Path[len(f.cfg.Path)-1]; last.shard != f.shard {
-		last.xs.Send(f.shard, last.eng.Now()+f.returnLeg, f.onAckFn, p)
+		last.xs.Send(f.shard, last.eng.Now()+f.returnLeg, flowAck, p)
 		return
 	}
-	f.eng.ScheduleArgAfter(f.returnLeg, f.onAckFn, p)
+	f.eng.ScheduleArgAfter(f.returnLeg, flowAck, p)
 }
 
 func (f *Flow) onAck(p *packet) {
@@ -459,7 +497,7 @@ func (f *Flow) onAck(p *packet) {
 // RTT later, emulating duplicate-ACK detection. Cross-shard drops bypass
 // this and use the packet's send-time lossDelay stamp (see Link.dropToSender).
 func (f *Flow) onDrop(p *packet) {
-	f.eng.ScheduleArgAfter(f.lossDetectDelay(), f.onLossFn, p)
+	f.eng.ScheduleArgAfter(f.lossDetectDelay(), flowLossDetected, p)
 }
 
 func (f *Flow) onLossDetected(p *packet) {

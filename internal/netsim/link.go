@@ -60,15 +60,11 @@ type Link struct {
 	qBytes int64
 	busy   bool
 
-	// Duplicate copies (fault injection) are pooled per link, not per flow:
+	// arena is the owning shard's packet pool. The link draws duplicate
+	// copies (fault injection) from it rather than from the flow's shard:
 	// in a sharded run the copy is created and destroyed on this link's
-	// shard, and the owning flow's free-list may belong to another shard.
-	dupFree []*packet
-	dupSlab []packet
-
-	// finishFn is the long-lived serialization-done callback; scheduling it
-	// via ScheduleArg avoids allocating a closure per transmitted packet.
-	finishFn func(any)
+	// shard, and the owning flow's pool may belong to another shard.
+	arena *pktArena
 
 	// faults, when non-nil, applies the configured fault processes (see
 	// faults.go). Built only when the config enables at least one process,
@@ -80,18 +76,25 @@ type Link struct {
 }
 
 func newLink(n *Network, cfg LinkConfig, rng *simcore.RNG) *Link {
-	l := &Link{net: n, cfg: cfg, rng: rng, eng: n.eng}
+	l := &Link{net: n, cfg: cfg, rng: rng, eng: n.eng, arena: &n.seqArena}
 	if cfg.BufferBytes > 0 {
 		// Size the queue for a buffer full of minimum-size packets, doubled
 		// because the lazy head compaction in finishTx lets the live window
 		// drift up to halfway through the backing array before sliding back.
 		l.queue = make([]*packet, 0, 2*(cfg.BufferBytes/DefaultPacketSize+1))
 	}
-	l.finishFn = func(a any) { l.finishTx(a.(*packet)) }
 	if cfg.Faults.Enabled() {
 		l.faults = newLinkFaults(l)
 	}
 	return l
+}
+
+// linkFinishTx is the shared serialization-done dispatcher: the packet's
+// current hop identifies the link, so no per-link closure is needed and the
+// ScheduleArg path stays allocation-free.
+func linkFinishTx(a any) {
+	p := a.(*packet)
+	p.flow.cfg.Path[p.hop].finishTx(p)
 }
 
 // Config returns the link's configuration.
@@ -197,7 +200,7 @@ func (l *Link) dropped(p *packet) {
 func (l *Link) dropToSender(p *packet) {
 	f := p.flow
 	if f.shard != l.shard {
-		l.xs.Send(f.shard, l.eng.Now()+p.lossDelay, f.onLossFn, p)
+		l.xs.Send(f.shard, l.eng.Now()+p.lossDelay, flowLossDetected, p)
 		return
 	}
 	f.onDrop(p)
@@ -206,18 +209,7 @@ func (l *Link) dropToSender(p *packet) {
 // cloneDup takes a pooled packet shaped like p, marked as a fault-injected
 // duplicate (see packet.dup).
 func (l *Link) cloneDup(p *packet) *packet {
-	var d *packet
-	if n := len(l.dupFree); n > 0 {
-		d = l.dupFree[n-1]
-		l.dupFree[n-1] = nil
-		l.dupFree = l.dupFree[:n-1]
-	} else {
-		if len(l.dupSlab) == 0 {
-			l.dupSlab = make([]packet, 64)
-		}
-		d = &l.dupSlab[0]
-		l.dupSlab = l.dupSlab[1:]
-	}
+	d := l.arena.alloc()
 	d.flow = p.flow
 	d.size = p.size
 	d.sentAt = p.sentAt
@@ -230,7 +222,7 @@ func (l *Link) cloneDup(p *packet) *packet {
 
 // releaseDup recycles a duplicate copy once the link is done with it.
 func (l *Link) releaseDup(p *packet) {
-	l.dupFree = append(l.dupFree, p)
+	l.arena.release(p)
 }
 
 // startTx begins serializing the packet at the head of the queue.
@@ -245,7 +237,7 @@ func (l *Link) startTx() {
 	if txDur < time.Nanosecond {
 		txDur = time.Nanosecond
 	}
-	l.eng.ScheduleArgAfter(txDur, l.finishFn, p)
+	l.eng.ScheduleArgAfter(txDur, linkFinishTx, p)
 }
 
 // finishTx completes serialization: the packet leaves the queue and enters
@@ -290,9 +282,9 @@ func (l *Link) finishTx(p *packet) {
 			dst = p.flow.cfg.Path[nh].shard
 		}
 		if dst != l.shard {
-			l.xs.Send(dst, l.eng.Now()+prop, p.flow.advanceFn, p)
+			l.xs.Send(dst, l.eng.Now()+prop, flowAdvance, p)
 		} else {
-			l.eng.ScheduleArgAfter(prop, p.flow.advanceFn, p)
+			l.eng.ScheduleArgAfter(prop, flowAdvance, p)
 		}
 	}
 

@@ -76,6 +76,39 @@ type Network struct {
 	links []*Link
 	flows []*Flow
 	tap   Tap
+
+	// seqArena is the packet pool every flow and link starts wired to; a
+	// sharded run replaces those pointers with per-shard arenas (see
+	// RunSharded), so pool access always stays single-goroutine.
+	seqArena    pktArena
+	shardArenas []pktArena
+
+	// flowSlab bulk-allocates Flow structs (AddFlow carves from it) and
+	// seriesFree bulk-allocates series backing storage (reserveSeries carves
+	// from it): at scale, per-flow allocations dominate setup cost and heap
+	// fragmentation, so both come in large blocks.
+	flowSlab   []Flow
+	seriesFree []SeriesPoint
+}
+
+// flowSlabBlock is how many Flow structs one slab allocation holds.
+const flowSlabBlock = 512
+
+// carveSeries hands out a zero-length slice with exactly need capacity from
+// the shared backing block. The three-index slice caps the result so an
+// overflowing append falls back to a private reallocation instead of
+// clobbering a neighbour's samples.
+func (n *Network) carveSeries(need int) []SeriesPoint {
+	if len(n.seriesFree) < need {
+		size := 16384
+		if size < need {
+			size = need
+		}
+		n.seriesFree = make([]SeriesPoint, size)
+	}
+	out := n.seriesFree[0:0:need]
+	n.seriesFree = n.seriesFree[need:]
+	return out
 }
 
 // New returns an empty network.
@@ -160,16 +193,23 @@ func (n *Network) AddLink(cfg LinkConfig) *Link {
 }
 
 // AddFlow creates a flow and registers it with the network. It panics on a
-// structurally invalid config (no path, no CC): those are programming
-// errors, not runtime conditions.
+// structurally invalid config (no path, no controller): those are
+// programming errors, not runtime conditions. Flow storage is carved from
+// the network's slab, so bulk scenario construction costs one allocation
+// per flowSlabBlock flows rather than one per flow.
 func (n *Network) AddFlow(cfg FlowConfig) *Flow {
 	if len(cfg.Path) == 0 {
 		panic("netsim: flow with empty path")
 	}
-	if cfg.CC == nil {
-		panic("netsim: flow without CC factory")
+	if cfg.CC == nil && cfg.Alg == nil {
+		panic("netsim: flow without CC factory or Alg")
 	}
-	f := newFlow(n, cfg, n.rng.Split(uint64(len(n.flows))+0x8000))
+	if len(n.flowSlab) == 0 {
+		n.flowSlab = make([]Flow, flowSlabBlock)
+	}
+	f := &n.flowSlab[0]
+	n.flowSlab = n.flowSlab[1:]
+	initFlow(f, n, cfg, n.rng.SplitValue(uint64(len(n.flows))+0x8000))
 	n.flows = append(n.flows, f)
 	return f
 }

@@ -235,6 +235,11 @@ type ShardRun struct {
 	Partition *Partition
 	// Executed is the number of events each shard executed.
 	Executed []int64
+	// BarrierRounds is how many barrier episodes the coordinator used (0 for
+	// a sequential fallback run) and FusedWindows how many windows skipped
+	// the cross-shard exchange phase entirely.
+	BarrierRounds int64
+	FusedWindows  int64
 }
 
 // RunSharded executes the simulation to the horizon on up to maxShards
@@ -271,19 +276,30 @@ func (n *Network) RunSharded(horizon time.Duration, maxShards int) (*ShardRun, e
 		engines[i] = simcore.NewEngine()
 	}
 	coord := simcore.NewCoordinator(engines, p.Window)
+	// Re-pool packets per shard so every arena stays single-goroutine: a
+	// flow allocates and releases on its own shard, a link clones and
+	// releases duplicates on its own shard.
+	n.shardArenas = make([]pktArena, p.Shards)
 	for i, l := range n.links {
 		l.shard = p.LinkShard[i]
 		l.eng = engines[l.shard]
 		l.xs = coord.Shard(l.shard)
+		l.arena = &n.shardArenas[l.shard]
 	}
 	for i, f := range n.flows {
 		f.shard = p.FlowShard[i]
 		f.eng = engines[f.shard]
+		f.arena = &n.shardArenas[f.shard]
 	}
 	for _, f := range n.flows {
 		f.armStart()
 		f.reserveSeries(horizon)
 	}
 	coord.Run(horizon)
-	return &ShardRun{Partition: p, Executed: coord.ExecutedPerShard()}, nil
+	return &ShardRun{
+		Partition:     p,
+		Executed:      coord.ExecutedPerShard(),
+		BarrierRounds: coord.BarrierRounds(),
+		FusedWindows:  coord.FusedWindows(),
+	}, nil
 }

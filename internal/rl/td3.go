@@ -3,7 +3,6 @@ package rl
 import (
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/nn"
@@ -122,6 +121,10 @@ type TD3 struct {
 	// prebuilt func and stays allocation-free.
 	criticShardFn func(int)
 	actorShardFn  func(int)
+
+	// pool holds the persistent helper goroutines of a multi-worker agent
+	// (nil until the first Workers>1 Update; see shardPool).
+	pool *shardPool
 
 	updates        int
 	skippedUpdates int64
@@ -430,9 +433,10 @@ func (t *TD3) actorShard(si int) {
 }
 
 // runShards executes fn(s) for every shard. Workers ≤ 1 runs them on the
-// calling goroutine; otherwise up to Workers goroutines pull shard indices
-// from an atomic counter. Work stealing is safe because shards are mutually
-// independent and the reduction order is fixed afterwards.
+// calling goroutine; otherwise the calling goroutine and up to Workers-1
+// pooled helpers pull shard indices from an atomic counter. Work stealing is
+// safe because shards are mutually independent and the reduction order is
+// fixed afterwards.
 func (t *TD3) runShards(fn func(int)) {
 	n := len(t.shards)
 	w := t.cfg.Workers
@@ -445,22 +449,101 @@ func (t *TD3) runShards(fn func(int)) {
 		}
 		return
 	}
-	var next int32
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func() {
-			defer wg.Done()
-			for {
-				s := int(atomic.AddInt32(&next, 1)) - 1
-				if s >= n {
-					return
-				}
-				fn(s)
-			}
-		}()
+	if t.pool == nil {
+		t.pool = newShardPool(t.cfg.Workers - 1)
 	}
-	wg.Wait()
+	t.pool.run(fn, n, w-1)
+}
+
+// shardPool keeps Workers-1 helper goroutines alive across Update calls so a
+// multi-worker step costs two channel operations per helper instead of a
+// goroutine spawn — the per-call closure and WaitGroup allocations of the
+// spawn-per-Update scheme were the only thing separating Workers>1 from the
+// serial path's zero-allocation contract.
+type shardPool struct {
+	fn   func(int)    // the current round's shard body
+	n    int32        // shards in the current round
+	next atomic.Int32 // work-stealing shard cursor
+	left atomic.Int32 // round participants (helpers + caller) still running
+
+	start   chan struct{} // each token wakes one helper for one round
+	done    chan struct{} // posted by the round's last finisher
+	closed  chan struct{}
+	spawned int // helpers launched so far (lazy, grows toward cap(start))
+}
+
+func newShardPool(maxHelpers int) *shardPool {
+	return &shardPool{
+		start:  make(chan struct{}, maxHelpers),
+		done:   make(chan struct{}, 1),
+		closed: make(chan struct{}),
+	}
+}
+
+// run executes fn over n shards on the calling goroutine plus helpers pooled
+// goroutines, returning when all shards are done. The start-token send
+// happens-before a helper's reads of fn/n, and the last finisher's done send
+// happens-before run's return, so rounds never overlap and fn's effects are
+// visible to the caller.
+func (p *shardPool) run(fn func(int), n, helpers int) {
+	for p.spawned < helpers {
+		p.spawned++
+		go p.loop()
+	}
+	p.fn, p.n = fn, int32(n)
+	p.next.Store(0)
+	p.left.Store(int32(helpers) + 1)
+	for i := 0; i < helpers; i++ {
+		p.start <- struct{}{}
+	}
+	for {
+		s := p.next.Add(1) - 1
+		if s >= int32(n) {
+			break
+		}
+		fn(int(s))
+	}
+	if p.left.Add(-1) == 0 {
+		p.done <- struct{}{}
+	}
+	<-p.done
+	p.fn = nil
+}
+
+// loop is one helper: sleep until a round token arrives, steal shards until
+// the cursor drains, signal if last out, repeat. A helper that drains the
+// cursor and loops around may consume a second token of the same round and
+// find no work — harmless, since tokens and left-decrements stay one-to-one.
+func (p *shardPool) loop() {
+	for {
+		select {
+		case <-p.closed:
+			return
+		case <-p.start:
+		}
+		fn, n := p.fn, p.n
+		for {
+			s := p.next.Add(1) - 1
+			if s >= n {
+				break
+			}
+			fn(int(s))
+		}
+		if p.left.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// Close releases the helper goroutines of a multi-worker agent. The agent
+// stays usable — the next multi-worker Update lazily respawns the pool — so
+// Close is only about not parking idle goroutines past the agent's working
+// life. Serial agents never spawn any, and Close on them is a no-op.
+func (t *TD3) Close() {
+	if t.pool != nil {
+		close(t.pool.closed)
+		t.pool = nil
+	}
 }
 
 // reduceShards folds the per-shard gradients selected by pick into shard

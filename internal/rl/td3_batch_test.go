@@ -101,6 +101,27 @@ func TestUpdateAllocFree(t *testing.T) {
 	}
 }
 
+// TestUpdateAllocFreeWorkers pins the multi-worker steady state to the same
+// zero-allocation contract as the serial path: after the first Update spawns
+// the persistent shard pool, further Updates must not allocate on the calling
+// goroutine (the old spawn-per-Update scheme paid a closure plus WaitGroup
+// per call).
+func TestUpdateAllocFreeWorkers(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		cfg := Config{StateDim: 8, ActionDim: 2, Hidden: []int{16, 8}, Batch: 32, Seed: 5, Workers: workers}
+		agent := NewTD3(cfg)
+		buf := fillBuffer(cfg.StateDim, cfg.ActionDim, 128, 6)
+		agent.Update(buf) // warm the replay index scratch and spawn the pool
+		avg := testing.AllocsPerRun(20, func() {
+			agent.Update(buf)
+		})
+		agent.Close()
+		if avg != 0 {
+			t.Fatalf("Update allocates %v per call at Workers=%d, want 0", avg, workers)
+		}
+	}
+}
+
 func BenchmarkReplaySample(b *testing.B) {
 	buf := fillBuffer(8, 2, 1024, 9)
 	rng := simcore.NewRNG(10)

@@ -34,7 +34,9 @@ type Event struct {
 	argFn func(any)
 	arg   any
 
-	index     int    // heap index; -1 when not queued
+	// index is the event's heap slot when >= 0, idxWheel (-2) while parked
+	// in a timer-wheel slot, and idxFree (-1) when not queued at all.
+	index     int
 	gen       uint64 // bumped on recycle; Timer handles check it
 	cancelled bool
 }
@@ -56,9 +58,11 @@ func (t Timer) Cancel() {
 	}
 }
 
-// Active reports whether the event is still queued and uncancelled.
+// Active reports whether the event is still queued and uncancelled. Queued
+// means resident in the heap or parked in a timer-wheel slot — wheel
+// residency is an internal staging detail, not a semantic difference.
 func (t Timer) Active() bool {
-	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && t.ev.index >= 0
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled && t.ev.index != idxFree
 }
 
 // At reports the virtual time at which the event fires (0 for inert or
@@ -121,7 +125,7 @@ func (h *eventHeap) popMin() *Event {
 	q[n] = nil
 	q = q[:n]
 	*h = q
-	top.index = -1
+	top.index = idxFree
 	if n == 0 {
 		return top
 	}
@@ -158,7 +162,7 @@ func (h *eventHeap) popMin() *Event {
 // not usable; construct with NewEngine.
 type Engine struct {
 	now     time.Duration
-	queue   eventHeap
+	queue   timerWheel
 	nextSeq uint64
 	running bool
 	stopped bool
@@ -192,39 +196,44 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Pending reports how many events are queued (including cancelled ones that
 // have not yet been drained).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.size() }
 
 // Len is the queue length — identical to Pending, exported under the name
 // the shard coordinator and its tests use for "events left in this engine".
-func (e *Engine) Len() int { return len(e.queue) }
+func (e *Engine) Len() int { return e.queue.size() }
 
 // PendingEvents reports how many queued events are still live, i.e. not yet
 // cancelled. Unlike Pending it excludes cancelled-but-undrained entries; it
 // scans the queue (O(n)), so it is meant for tests and debug surfaces, not
 // per-event hot paths.
 func (e *Engine) PendingEvents() int {
-	live := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			live++
-		}
-	}
-	return live
+	return e.queue.live()
 }
 
 // NextAt reports the firing time of the earliest queued event. ok is false
 // when the queue is empty. Cancelled events still count: they occupy the
-// queue until drained, and treating them as real keeps the answer O(1).
+// queue until drained, and treating them as real keeps the answer cheap —
+// amortized O(1), with an occasional wheel-slot migration to establish the
+// heap top as the global minimum.
 func (e *Engine) NextAt() (at time.Duration, ok bool) {
-	if len(e.queue) == 0 {
+	ev := e.queue.min()
+	if ev == nil {
 		return 0, false
 	}
-	return e.queue[0].at, true
+	return ev.at, true
 }
 
 // alloc takes an event from the free-list (or allocates one) and enqueues
-// it at the given time.
+// it at the given time, stamped as scheduled now.
 func (e *Engine) alloc(at time.Duration) *Event {
+	return e.allocSched(at, e.now)
+}
+
+// allocSched is alloc with an explicit schedule stamp. The stamp is part of
+// the queue ordering key, so it must be final before the event is enqueued —
+// mutating it afterwards would corrupt the heap invariant for equal-time
+// ties. InjectArg passes the cross-shard origin time here.
+func (e *Engine) allocSched(at, schedAt time.Duration) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("simcore: schedule at %v before now %v", at, e.now))
 	}
@@ -241,11 +250,11 @@ func (e *Engine) alloc(at time.Duration) *Event {
 		e.slab = e.slab[1:]
 	}
 	ev.at = at
-	ev.schedAt = e.now
+	ev.schedAt = schedAt
 	ev.seq = e.nextSeq
 	ev.cancelled = false
 	e.nextSeq++
-	e.queue.push(ev)
+	e.queue.push(ev, e.now)
 	return ev
 }
 
@@ -306,8 +315,7 @@ func (e *Engine) InjectArg(at, schedAt time.Duration, fn func(any), arg any) Tim
 	if schedAt > at {
 		panic(fmt.Sprintf("simcore: inject at %v scheduled later, at %v", at, schedAt))
 	}
-	ev := e.alloc(at)
-	ev.schedAt = schedAt
+	ev := e.allocSched(at, schedAt)
 	ev.argFn = fn
 	ev.arg = arg
 	return Timer{ev: ev, gen: ev.gen}
@@ -366,9 +374,9 @@ func (e *Engine) exec(bound time.Duration, inclusive bool) int {
 	defer func() { e.running = false }()
 
 	executed := 0
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > bound || (!inclusive && ev.at == bound) {
+	for !e.stopped {
+		ev := e.queue.min()
+		if ev == nil || ev.at > bound || (!inclusive && ev.at == bound) {
 			break
 		}
 		e.queue.popMin()

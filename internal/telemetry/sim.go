@@ -90,6 +90,21 @@ func RecordShards(h *Hub, executed []int64) {
 	}
 }
 
+// RecordCoordinator exports the synchronization economics of one sharded
+// run: cumulative barrier episodes and fused windows (windows whose
+// cross-shard exchange phase — and second barrier — was skipped because no
+// shard had events or hook records to publish). The two together say how
+// barrier-lean the coordinator ran: fused/(fused+rounds-fused) is the
+// fraction of windows that cost one barrier instead of two. A disabled hub
+// records nothing.
+func RecordCoordinator(h *Hub, rounds, fused int64) {
+	if !h.Enabled() {
+		return
+	}
+	h.Registry.Counter("sim_barrier_rounds_total", "barrier episodes across sharded runs").Add(rounds)
+	h.Registry.Counter("sim_fused_windows_total", "windows that skipped the exchange phase across sharded runs").Add(fused)
+}
+
 // exportJuryCounters registers callback gauges summing the decision-guard
 // counters of every Jury controller in the network. The counters are
 // atomics, so the debug endpoint reads them live while the simulation runs.

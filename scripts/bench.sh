@@ -29,13 +29,24 @@ esac
 if [ "$MODE" = smoke ]; then
     # One iteration per benchmark: proves the harness still runs end to end
     # without paying for statistically stable timings. The huge-mesh scenario
-    # is scaled down from its default 10k flows unless the caller overrides.
+    # is scaled down from its default 10k flows (and the million-flow capacity
+    # proof from its default 1M) unless the caller overrides.
     JURY_HUGE_FLOWS=${JURY_HUGE_FLOWS:-400} \
+    JURY_MILLION_FLOWS=${JURY_MILLION_FLOWS:-2000} \
     go test -run '^$' -bench "$BENCHES" -benchtime 1x -benchmem \
         ./internal/simcore ./internal/nn ./internal/rl ./internal/exp \
         ./internal/agentrpc >/dev/null
     echo "bench smoke OK"
     exit 0
+fi
+
+if [ "$MODE" = compare ]; then
+    # The comparison run keeps the million-flow proof small: its figures of
+    # merit (bytes/flow, allocs) are recorded by the full record runs, and a
+    # 1M-flow iteration would dominate the gate's wall time. Override with
+    # JURY_MILLION_FLOWS to compare at full scale.
+    JURY_MILLION_FLOWS=${JURY_MILLION_FLOWS:-20000}
+    export JURY_MILLION_FLOWS
 fi
 
 TMP=$(mktemp)
@@ -50,6 +61,10 @@ go test -run '^$' -bench 'BenchmarkScenario$' -benchtime 3x -benchmem ./internal
 # a single iteration is already millions of events, and the events/sec column
 # is the figure of merit for the sharded engine.
 go test -run '^$' -bench 'BenchmarkScenarioHuge' -benchtime 1x -benchmem ./internal/exp | tee -a "$TMP"
+# The million-flow capacity proof (JURY_MILLION_FLOWS flows, default 1_000_000,
+# 8 shards, shortened horizon): one iteration records events/sec plus the
+# memory figures — bytes/flow and peak heap — that gate under --compare.
+go test -run '^$' -bench 'BenchmarkScenarioMillion' -benchtime 1x -benchmem -timeout 60m ./internal/exp | tee -a "$TMP"
 # The inference-daemon serving path: decisions/sec through the batcher at
 # batch sizes 1, 64, and 1024 (single-request latency floor up to full GEMM
 # coalescing).
@@ -70,13 +85,15 @@ BEGIN {
 }
 /^Benchmark/ {
     name = $1
-    nsop = ""; bop = ""; allocs = ""; eps = ""; dps = ""
+    nsop = ""; bop = ""; allocs = ""; eps = ""; dps = ""; bpf = ""; peak = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op") nsop = $(i - 1)
         if ($(i) == "B/op") bop = $(i - 1)
         if ($(i) == "allocs/op") allocs = $(i - 1)
         if ($(i) == "events/sec") eps = $(i - 1)
         if ($(i) == "decisions/sec") dps = $(i - 1)
+        if ($(i) == "bytes/flow") bpf = $(i - 1)
+        if ($(i) == "peak-heap-bytes") peak = $(i - 1)
     }
     if (nsop == "") next
     if (!first) printf ",\n"
@@ -84,6 +101,8 @@ BEGIN {
     printf "  \"%s\": {\"ns_per_op\": %s", name, nsop
     if (eps != "") printf ", \"events_per_sec\": %s", eps
     if (dps != "") printf ", \"decisions_per_sec\": %s", dps
+    if (bpf != "") printf ", \"bytes_per_flow\": %s", bpf
+    if (peak != "") printf ", \"peak_heap_bytes\": %s", peak
     if (bop != "") printf ", \"bytes_per_op\": %s", bop
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     printf "}"
@@ -115,6 +134,7 @@ function load(line,   name, n, parts) {
     name = substr(line, RSTART + 1, RLENGTH - 2)
     ns[name] = val(line, "ns_per_op")
     al[name] = val(line, "allocs_per_op")
+    bf[name] = val(line, "bytes_per_flow")
     return name
 }
 function val(line, key,   re, s) {
@@ -124,22 +144,32 @@ function val(line, key,   re, s) {
     sub("\"" key "\": *", "", s)
     return s
 }
-NR == FNR { if ((n = load($0)) != "") { bns[n] = ns[n]; bal[n] = al[n] } next }
+NR == FNR { if ((n = load($0)) != "") { bns[n] = ns[n]; bal[n] = al[n]; bbf[n] = bf[n] } next }
 { load($0) }
 END {
     bad = 0
     for (n in ns) {
         if (!(n in bns)) { printf "NEW   %-50s %12s ns/op\n", n, ns[n]; continue }
         status = "ok"
-        headroom = (n ~ /ScenarioHuge/) ? 2.00 : 1.20
+        headroom = (n ~ /ScenarioHuge|ScenarioMillion/) ? 2.00 : 1.20
         if (bns[n] + 0 > 0 && ns[n] + 0 > bns[n] * headroom) {
             status = "SLOWER"; bad = 1
         }
         if (al[n] != "" && bal[n] != "" && al[n] + 0 > bal[n] + 0) {
             status = "ALLOCS"; bad = 1
         }
-        printf "%-6s %-50s %12s -> %-12s ns/op  allocs %s -> %s\n", \
+        # Memory gate: live bytes per built flow, 25% headroom. Applies only
+        # to ScenarioHuge (both sides run the same default population there;
+        # ScenarioMillion compares at reduced scale, where per-network fixed
+        # costs amortize differently). Skipped when either side lacks the
+        # metric, so old baselines keep comparing.
+        if (n ~ /ScenarioHuge/ && bf[n] != "" && bbf[n] != "" && bf[n] + 0 > bbf[n] * 1.25) {
+            status = "MEMORY"; bad = 1
+        }
+        printf "%-6s %-50s %12s -> %-12s ns/op  allocs %s -> %s", \
             status, n, bns[n], ns[n], bal[n], al[n]
+        if (bf[n] != "" && bbf[n] != "") printf "  bytes/flow %s -> %s", bbf[n], bf[n]
+        printf "\n"
     }
     exit bad
 }

@@ -35,6 +35,9 @@ go test -race -short -run '^TestFaultMatrix' ./internal/simcheck
 echo "== sharded engine: digest parity (canonical scenarios, -shards=1 vs 4)"
 go test -run '^(TestShardedDigestParity|TestHugeShardedDigestParity)$' -count=1 ./internal/exp
 
+echo "== sharded engine: reduced-flow parity smoke (JURY_HUGE_FLOWS=5000, -race)"
+JURY_HUGE_FLOWS=5000 go test -race -run '^TestHugeEnvShardedDigestParity$' -count=1 -timeout 20m ./internal/exp
+
 echo "== shard coordinator race smoke"
 go test -race -run '^TestCoordinator' -count=1 ./internal/simcore
 go test -race -run '^(TestRunSharded|TestPartition)' -count=1 ./internal/netsim
