@@ -77,6 +77,10 @@ func main() {
 		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
 		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
+		obsOn       = flag.Bool("obs", false, "attach the streaming fairness observer (live /fairness on -debug-addr)")
+		obsWindow   = flag.Duration("obs-window", 500*time.Millisecond, "fairness snapshot cadence in virtual time")
+		flightDir   = flag.String("flight-dir", "", "write flight-recorder JSONL dumps here on anomaly triggers (implies -obs)")
+		compact     = flag.Bool("store-compact", false, "store records without per-flow series (tables fall back on precomputed late means and the stream summary)")
 	)
 	flag.Parse()
 	hub, err := telemetry.Setup(telemetry.Options{Enabled: *telemetryOn, TraceOut: *traceOut, DebugAddr: *debugAddr})
@@ -86,7 +90,9 @@ func main() {
 	}
 	exp.Telemetry = hub
 	defer hub.Close()
+	exp.SetupObs(*obsOn, *obsWindow, *flightDir, hub)
 	exp.DefaultShards = *shards
+	exp.StoreCompact = *compact
 	if *resume && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "juryexp: -resume requires -store DIR")
 		os.Exit(2)

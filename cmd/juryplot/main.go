@@ -13,6 +13,12 @@
 //
 //	jurysim -scheme cubic,jury -trace-out run.jsonl
 //	juryplot -trace run.jsonl -out run.svg
+//
+// The fairness subcommand renders a streaming fairness capture (the
+// /fairness page or an SSE capture of /fairness/stream from a run launched
+// with -obs) as Jain-over-virtual-time:
+//
+//	juryplot fairness -in fairness.json -out fairness.svg
 package main
 
 import (
@@ -29,6 +35,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fairness" {
+		runFairness(os.Args[2:])
+		return
+	}
 	var (
 		fig   = flag.String("fig", "", "figure id: fig1a fig1b fig4 fig5 fig7a..fig7h fig8 fig11a fig11b fig12 fig13a fig13b")
 		trace = flag.String("trace", "", "plot a telemetry JSONL trace (sim interval events) instead of a figure")

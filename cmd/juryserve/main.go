@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/agentrpc"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -57,6 +58,8 @@ func main() {
 		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
 		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
+		obsOn       = flag.Bool("obs", false, "mount the /fairness live surfaces on -debug-addr (populated when a co-process run attaches)")
+		obsWindow   = flag.Duration("obs-window", 500*time.Millisecond, "fairness snapshot cadence in virtual time")
 	)
 	flag.Parse()
 
@@ -66,6 +69,13 @@ func main() {
 		os.Exit(1)
 	}
 	defer hub.Close()
+	if *obsOn {
+		rt := obs.New(obs.Options{Window: *obsWindow})
+		if d := hub.Debug(); d != nil {
+			d.Handle("/fairness", rt.State())
+			d.Handle("/fairness/stream", rt.State().StreamHandler())
+		}
+	}
 	if a := hub.DebugAddr(); a != "" {
 		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/\n", a)
 	}

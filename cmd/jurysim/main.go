@@ -69,12 +69,16 @@ func main() {
 		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
 		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
+		obsOn       = flag.Bool("obs", false, "attach the streaming fairness observer (live /fairness on -debug-addr)")
+		obsWindow   = flag.Duration("obs-window", 500*time.Millisecond, "fairness snapshot cadence in virtual time")
+		flightDir   = flag.String("flight-dir", "", "write flight-recorder JSONL dumps here on anomaly triggers (implies -obs)")
 
 		daemonAddr = flag.String("daemon-addr", "", "drive jury flows from a juryserve inference daemon at this address (AIMD-safe fallback on failure)")
 	)
 	flag.Parse()
 	hub := setupTelemetry(*telemetryOn, *traceOut, *debugAddr)
 	defer hub.Close()
+	exp.SetupObs(*obsOn, *obsWindow, *flightDir, hub)
 	exp.DefaultShards = *shards
 
 	names := strings.Split(*schemes, ",")
@@ -193,10 +197,14 @@ func runFaults(args []string) {
 		telemetryOn = fs.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
 		traceOut    = fs.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
+		obsOn       = fs.Bool("obs", false, "attach the streaming fairness observer (live /fairness on -debug-addr)")
+		obsWindow   = fs.Duration("obs-window", 500*time.Millisecond, "fairness snapshot cadence in virtual time")
+		flightDir   = fs.String("flight-dir", "", "write flight-recorder JSONL dumps here on anomaly triggers (implies -obs)")
 	)
 	fs.Parse(args)
 	hub := setupTelemetry(*telemetryOn, *traceOut, *debugAddr)
 	defer hub.Close()
+	exp.SetupObs(*obsOn, *obsWindow, *flightDir, hub)
 
 	o := exp.RobustnessOptions{
 		Rate:     *rateMbps * 1e6,

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -38,6 +39,9 @@ func main() {
 		telemetryOn = flag.Bool("telemetry", false, "enable the telemetry hub (implied by -trace-out/-debug-addr)")
 		traceOut    = flag.String("trace-out", "", `write JSONL spans/events to this path ("-" for stderr)`)
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /metrics.json, /debug/pprof, /debug/vars on this address")
+		obsOn       = flag.Bool("obs", false, "attach the streaming fairness observer to -eval runs (live /fairness on -debug-addr)")
+		obsWindow   = flag.Duration("obs-window", 500*time.Millisecond, "fairness snapshot cadence in virtual time")
+		flightDir   = flag.String("flight-dir", "", "write flight-recorder JSONL dumps here on anomaly triggers (implies -obs)")
 	)
 	flag.Parse()
 	hub, err := telemetry.Setup(telemetry.Options{Enabled: *telemetryOn, TraceOut: *traceOut, DebugAddr: *debugAddr})
@@ -46,12 +50,20 @@ func main() {
 		os.Exit(1)
 	}
 	defer hub.Close()
+	var obsRT *obs.Runtime
+	if *obsOn || *flightDir != "" {
+		obsRT = obs.New(obs.Options{Window: *obsWindow, FlightDir: *flightDir})
+		if d := hub.Debug(); d != nil {
+			d.Handle("/fairness", obsRT.State())
+			d.Handle("/fairness/stream", obsRT.State().StreamHandler())
+		}
+	}
 	if addr := hub.DebugAddr(); addr != "" {
 		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/\n", addr)
 	}
 
 	if *eval != "" {
-		if err := evaluate(*eval, *rate*1e6, time.Duration(*rtt)*time.Millisecond, *seed, hub); err != nil {
+		if err := evaluate(*eval, *rate*1e6, time.Duration(*rtt)*time.Millisecond, *seed, hub, obsRT); err != nil {
 			fmt.Fprintln(os.Stderr, "jurytrain:", err)
 			os.Exit(1)
 		}
@@ -91,7 +103,7 @@ func main() {
 }
 
 // evaluate runs a 2-flow fairness check with the trained policy.
-func evaluate(path string, rateBps float64, rtt time.Duration, seed uint64, hub *telemetry.Hub) error {
+func evaluate(path string, rateBps float64, rtt time.Duration, seed uint64, hub *telemetry.Hub, obsRT *obs.Runtime) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -115,11 +127,16 @@ func evaluate(path string, rateBps float64, rtt time.Duration, seed uint64, hub 
 	f2 := n.AddFlow(netsim.FlowConfig{Name: "b", Path: []*netsim.Link{l}, Start: 20 * time.Second,
 		CC: func() cc.Algorithm { return mkJury(seed + 2) }})
 	telemetry.AttachSim(n, hub)
+	ob := obsRT.Attach(n, 1)
 	n.Run(80 * time.Second)
 	s1, s2 := f1.Stats(), f2.Stats()
 	fmt.Printf("trained policy on %.0f Mbps / %v:\n", rateBps/1e6, rtt)
 	fmt.Printf("  flow a: %.1f Mbps (avg RTT %.1f ms)\n", s1.AvgThroughputBps/1e6, float64(s1.AvgRTT)/1e6)
 	fmt.Printf("  flow b: %.1f Mbps (avg RTT %.1f ms)\n", s2.AvgThroughputBps/1e6, float64(s2.AvgRTT)/1e6)
 	fmt.Printf("  link utilization: %.3f\n", l.Utilization(80*time.Second))
+	if sum := ob.Finish(80 * time.Second); sum != nil {
+		fmt.Printf("  streaming fairness: final Jain %.3f (worst window %.3f over %d snapshots)\n",
+			sum.FinalJain, sum.MinWindowJain, sum.Snapshots)
+	}
 	return nil
 }

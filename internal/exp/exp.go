@@ -24,7 +24,9 @@ import (
 	"repro/internal/cc/vivace"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/simcheck"
 	"repro/internal/telemetry"
@@ -150,12 +152,13 @@ func (s Scenario) BufferBDP(n float64) int {
 // runstore) is indistinguishable from a fresh one. It satisfies
 // metrics.FlowSeries.
 type FlowSummary struct {
-	name      string
-	baseRTT   time.Duration
-	stats     netsim.FlowStats
-	series    []netsim.SeriesPoint
-	degraded  int64
-	nonFinite int64
+	name        string
+	baseRTT     time.Duration
+	stats       netsim.FlowStats
+	series      []netsim.SeriesPoint
+	degraded    int64
+	nonFinite   int64
+	lateMeanBps float64
 }
 
 // Name returns the flow's label.
@@ -176,6 +179,11 @@ func (f *FlowSummary) Series() []netsim.SeriesPoint { return f.series }
 func (f *FlowSummary) JuryCounters() (degraded, nonFinite int64) {
 	return f.degraded, f.nonFinite
 }
+
+// LateMeanBps returns the flow's mean throughput over the late window
+// [Horizon/3, Horizon], precomputed by summarize so fairness shares survive
+// a compact record whose Series was dropped (see StoreCompact).
+func (f *FlowSummary) LateMeanBps() float64 { return f.lateMeanBps }
 
 // LinkSummary carries the bottleneck-link counters a stored run preserves.
 type LinkSummary struct {
@@ -205,6 +213,10 @@ type RunResult struct {
 	// Cached reports that the result was loaded from the run store instead
 	// of simulated.
 	Cached bool
+	// Stream is the streaming-observability summary; nil unless the run
+	// executed with the Obs runtime attached (or was restored from a record
+	// that carried one).
+	Stream *obs.StreamSummary
 }
 
 // summarize detaches the result's flow and link state into FlowSummaries /
@@ -218,6 +230,7 @@ func (r *RunResult) summarize() {
 			stats:   f.Stats(),
 			series:  f.Series(),
 		}
+		fs.lateMeanBps = metrics.MeanThroughput(fs, r.Scenario.Horizon/3, r.Scenario.Horizon)
 		if j, ok := f.CC().(*core.Jury); ok {
 			fs.degraded = j.DegradedDecisions()
 			fs.nonFinite = j.NonFiniteActions()
@@ -315,6 +328,22 @@ func Run(s Scenario) (*RunResult, error) {
 	if shards == 0 {
 		shards = DefaultShards
 	}
+	var ob *obs.Observer
+	if Obs != nil {
+		// The observatory chains behind checker and telemetry taps and claims
+		// the network's window hook. The violation hook and the panic dump
+		// are wired here so obs never imports simcheck or the harness.
+		ob = Obs.Attach(n, shards)
+		if ck != nil {
+			ck.SetViolationHook(func(v simcheck.Violation) { ob.NoteViolation(v.Time, v.Rule) })
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				ob.DumpFlight("panic")
+				panic(r)
+			}
+		}()
+	}
 	if shards > 1 {
 		sr, err := n.RunSharded(s.Horizon, shards)
 		if err != nil {
@@ -331,6 +360,7 @@ func Run(s Scenario) (*RunResult, error) {
 		Link:        link,
 		Utilization: link.Utilization(s.Horizon),
 	}
+	res.Stream = ob.Finish(s.Horizon)
 	if ck != nil {
 		ck.Finish()
 		if err := ck.Err(); err != nil {

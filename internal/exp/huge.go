@@ -9,6 +9,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/cc/cubic"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/simcheck"
 )
@@ -102,6 +103,10 @@ type HugeResult struct {
 	ExecutedPerShard []int64
 	// Digest is the simcheck digest (zero unless Check was set).
 	Digest uint64
+	// Stream is the streaming-observability summary (nil unless exp.Obs is
+	// set). At huge scale this is the ONLY per-run fairness view: the mesh
+	// records no per-flow series, so post-hoc metrics are unavailable.
+	Stream *obs.StreamSummary
 }
 
 // BuildHuge assembles the parking-lot mesh without running it, so tests and
@@ -175,6 +180,17 @@ func RunHuge(o HugeOptions) (*HugeResult, error) {
 	if o.Check || ForceCheck {
 		ck = simcheck.Attach(n)
 	}
+	var ob *obs.Observer
+	if Obs != nil {
+		shards := o.Shards
+		if shards > o.Segments {
+			shards = o.Segments
+		}
+		ob = Obs.Attach(n, shards)
+		if ck != nil {
+			ck.SetViolationHook(func(v simcheck.Violation) { ob.NoteViolation(v.Time, v.Rule) })
+		}
+	}
 	sr, err := n.RunSharded(o.Horizon, o.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("exp: huge: %w", err)
@@ -188,6 +204,7 @@ func RunHuge(o HugeOptions) (*HugeResult, error) {
 	for _, e := range sr.Executed {
 		res.Events += e
 	}
+	res.Stream = ob.Finish(o.Horizon)
 	if ck != nil {
 		ck.Finish()
 		if err := ck.Err(); err != nil {

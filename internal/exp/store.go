@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/telemetry"
 	"repro/internal/traces"
@@ -38,6 +39,14 @@ var (
 	Store       *runstore.Store
 	StoreResume bool
 )
+
+// StoreCompact, when true, drops the per-flow time series from stored
+// records, keeping only lifetime stats, the precomputed late-window mean,
+// and (when the obs layer is attached) the streaming summary. At a million
+// flows the series dominate record size by orders of magnitude; the
+// fairness tables are written to fall back on FlowSummary.LateMeanBps and
+// RunResult.Stream, so compact records stay fully usable.
+var StoreCompact bool
 
 // liveRuns counts actual simulator executions (cache hits excluded); the
 // warm-store tests pin it to zero.
@@ -235,15 +244,65 @@ func recordFromResult(key runstore.Key, s Scenario, r *RunResult) *runstore.Reco
 	rec.Flows = make([]runstore.FlowRecord, 0, len(r.FlowSummaries))
 	for _, f := range r.FlowSummaries {
 		fr := runstore.FlowRecord{
-			BaseRTT:   f.baseRTT,
-			Stats:     f.stats,
-			Degraded:  f.degraded,
-			NonFinite: f.nonFinite,
-			Series:    f.series,
+			BaseRTT:     f.baseRTT,
+			Stats:       f.stats,
+			Degraded:    f.degraded,
+			NonFinite:   f.nonFinite,
+			LateMeanBps: f.lateMeanBps,
+			Series:      f.series,
+		}
+		if StoreCompact {
+			fr.Series = nil
 		}
 		rec.Flows = append(rec.Flows, fr)
 	}
+	rec.Stream = streamToRecord(r.Stream)
 	return rec
+}
+
+// streamToRecord / streamFromRecord convert between the live obs summary and
+// its stored mirror (field-for-field; the mirror exists so runstore never
+// imports obs).
+func streamToRecord(s *obs.StreamSummary) *runstore.StreamSummary {
+	if s == nil {
+		return nil
+	}
+	return &runstore.StreamSummary{
+		FinalJain:     s.FinalJain,
+		MinWindowJain: s.MinWindowJain,
+		Snapshots:     s.Snapshots,
+		Samples:       s.Samples,
+		RateP50:       s.RateP50,
+		RateP95:       s.RateP95,
+		RateP99:       s.RateP99,
+		RTTP50:        s.RTTP50,
+		RTTP95:        s.RTTP95,
+		RTTP99:        s.RTTP99,
+		Drops:         s.Drops,
+		Faults:        s.Faults,
+		Degraded:      s.Degraded,
+	}
+}
+
+func streamFromRecord(s *runstore.StreamSummary) *obs.StreamSummary {
+	if s == nil {
+		return nil
+	}
+	return &obs.StreamSummary{
+		FinalJain:     s.FinalJain,
+		MinWindowJain: s.MinWindowJain,
+		Snapshots:     s.Snapshots,
+		Samples:       s.Samples,
+		RateP50:       s.RateP50,
+		RateP95:       s.RateP95,
+		RateP99:       s.RateP99,
+		RTTP50:        s.RTTP50,
+		RTTP95:        s.RTTP95,
+		RTTP99:        s.RTTP99,
+		Drops:         s.Drops,
+		Faults:        s.Faults,
+		Degraded:      s.Degraded,
+	}
 }
 
 // scenarioSchemes lists the distinct schemes of a scenario in flow order.
@@ -277,14 +336,16 @@ func resultFromRecord(s Scenario, rec *runstore.Record) *RunResult {
 	for i := range rec.Flows {
 		f := &rec.Flows[i]
 		r.FlowSummaries = append(r.FlowSummaries, &FlowSummary{
-			name:      f.Stats.Name,
-			baseRTT:   f.BaseRTT,
-			stats:     f.Stats,
-			series:    f.Series,
-			degraded:  f.Degraded,
-			nonFinite: f.NonFinite,
+			name:        f.Stats.Name,
+			baseRTT:     f.BaseRTT,
+			stats:       f.Stats,
+			series:      f.Series,
+			degraded:    f.Degraded,
+			nonFinite:   f.NonFinite,
+			lateMeanBps: f.LateMeanBps,
 		})
 	}
+	r.Stream = streamFromRecord(rec.Stream)
 	return r
 }
 
@@ -300,6 +361,7 @@ func hugeRecord(key runstore.Key, o HugeOptions, res *HugeResult) *runstore.Reco
 		Checked:       res.Digest != 0,
 		Events:        res.Events,
 		ShardExecuted: append([]int64(nil), res.ExecutedPerShard...),
+		Stream:        streamToRecord(res.Stream),
 	}
 }
 
@@ -314,5 +376,6 @@ func hugeFromRecord(o HugeOptions, rec *runstore.Record) *HugeResult {
 		Events:           rec.Events,
 		ExecutedPerShard: append([]int64(nil), rec.ShardExecuted...),
 		Digest:           rec.Digest,
+		Stream:           streamFromRecord(rec.Stream),
 	}
 }

@@ -241,6 +241,11 @@ func (f *Flow) Now() time.Duration { return f.eng.Now() }
 // Series returns the recorded time series.
 func (f *Flow) Series() []SeriesPoint { return f.series }
 
+// Shard reports which shard the flow runs on (0 in sequential runs). Tap
+// callbacks fired by this flow use it to index per-shard observer state
+// without cross-shard races.
+func (f *Flow) Shard() int { return f.shard }
+
 // reserveSeries sizes the series backing array to record through the given
 // horizon, so recordTick appends never reallocate mid-run. Fresh flows are
 // carved out of the network's shared backing block (one allocation per
@@ -328,6 +333,9 @@ func (f *Flow) recordTick() {
 		p.AvgRTT = f.rec.rttSum / time.Duration(f.rec.ackedPackets)
 	}
 	f.series = append(f.series, p)
+	if tap := f.net.tap; tap != nil {
+		tap.SampleRecorded(f, p)
+	}
 	f.rec.reset()
 	f.eng.ScheduleArgAfter(iv, flowRecordTick, f)
 }

@@ -106,6 +106,9 @@ func (l *Link) Stats() LinkStats { return l.stats }
 // QueueBytes reports the current queue occupancy in bytes.
 func (l *Link) QueueBytes() int64 { return l.qBytes }
 
+// Shard reports which shard the link runs on (0 in sequential runs).
+func (l *Link) Shard() int { return l.shard }
+
 // Now reports the virtual time of the link's own engine. Identical to
 // Network.Now in sequential runs; in sharded runs it is the only clock a
 // tap callback fired by this link may read without racing other shards.

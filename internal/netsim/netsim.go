@@ -49,6 +49,12 @@ type Tap interface {
 	// IntervalDelivered fires when send-attributed interval statistics are
 	// handed to an interval-driven controller.
 	IntervalDelivered(f *Flow, s cc.IntervalStats)
+	// SampleRecorded fires when a flow appends one point to its recorded
+	// time series (every RecordInterval while the flow is active). It is
+	// the streaming seam for fairness metrics: the per-instant throughput
+	// samples it carries are exactly what metrics.TimewiseJain groups
+	// post-hoc.
+	SampleRecorded(f *Flow, p SeriesPoint)
 	// FaultInjected fires when a link's fault injector acts on a packet of
 	// flow f: for FaultBurstLoss and FaultBlackout the packet was dropped
 	// before queueing (the sender's loss detection is engaged), for
@@ -76,6 +82,13 @@ type Network struct {
 	links []*Link
 	flows []*Flow
 	tap   Tap
+
+	// Window hook (SetWindowHook): a virtual-time boundary observer that
+	// both execution modes honor — sequentially via a chained engine event
+	// hook, sharded via the coordinator's barrier-synchronized window hook.
+	whDue       func(at time.Duration) bool
+	whFire      func(end time.Duration)
+	whInstalled bool // sequential engine-hook chain installed (once)
 
 	// seqArena is the packet pool every flow and link starts wired to; a
 	// sharded run replaces those pointers with per-shard arenas (see
@@ -134,6 +147,44 @@ func (n *Network) SetTap(t Tap) { n.tap = t }
 // Tap returns the installed observer (nil if none).
 func (n *Network) Tap() Tap { return n.tap }
 
+// RecordInterval reports the per-flow series sampling granularity.
+func (n *Network) RecordInterval() time.Duration { return n.cfg.RecordInterval }
+
+// SetWindowHook installs a virtual-time window observer: once the clock has
+// provably passed a point where due(at) reports true, fire(end) runs with
+// every event before end executed — sequentially it is chained onto the
+// engine's event hook (fire runs on the simulation goroutine), in a sharded
+// run it rides the coordinator's exchange barrier (fire runs on shard 0's
+// worker with all other workers parked, so it may merge state written by
+// any shard). Both callbacks must only observe — no event scheduling, no
+// randomness — so a hooked run stays digest-identical to a bare one. Call
+// before Run/RunSharded.
+func (n *Network) SetWindowHook(due func(at time.Duration) bool, fire func(end time.Duration)) {
+	n.whDue, n.whFire = due, fire
+}
+
+// installWindowHook chains the sequential form of the window hook onto the
+// engine's event hook (idempotent). Sharded runs must not call this: the
+// coordinator provides the barrier-synchronized form instead.
+func (n *Network) installWindowHook() {
+	if n.whDue == nil || n.whInstalled {
+		return
+	}
+	n.whInstalled = true
+	prev := n.eng.EventHook()
+	due, fire := n.whDue, n.whFire
+	n.eng.SetEventHook(func(at time.Duration, seq uint64) {
+		if prev != nil {
+			prev(at, seq)
+		}
+		// Events execute in nondecreasing time order, so when an event at
+		// `at` runs, everything strictly before `at` is final.
+		if due(at) {
+			fire(at)
+		}
+	})
+}
+
 // teeTap fans every Tap callback out to two observers in order. It exists
 // so the invariant checker (internal/simcheck) and the telemetry layer can
 // observe the same run through the single tap slot.
@@ -160,6 +211,10 @@ func (t teeTap) QueueDropped(l *Link, bytes int, random bool) {
 func (t teeTap) IntervalDelivered(f *Flow, s cc.IntervalStats) {
 	t.a.IntervalDelivered(f, s)
 	t.b.IntervalDelivered(f, s)
+}
+func (t teeTap) SampleRecorded(f *Flow, p SeriesPoint) {
+	t.a.SampleRecorded(f, p)
+	t.b.SampleRecorded(f, p)
 }
 func (t teeTap) FaultInjected(l *Link, f *Flow, kind FaultKind, bytes int) {
 	t.a.FaultInjected(l, f, kind, bytes)
@@ -223,6 +278,7 @@ func (n *Network) Links() []*Link { return n.links }
 // Run executes the simulation until the horizon and returns the number of
 // events executed. It may be called multiple times with increasing horizons.
 func (n *Network) Run(horizon time.Duration) int {
+	n.installWindowHook()
 	for _, f := range n.flows {
 		f.armStart()
 		f.reserveSeries(horizon)

@@ -276,6 +276,12 @@ func (n *Network) RunSharded(horizon time.Duration, maxShards int) (*ShardRun, e
 		engines[i] = simcore.NewEngine()
 	}
 	coord := simcore.NewCoordinator(engines, p.Window)
+	if n.whDue != nil {
+		// The window hook rides the coordinator's exchange barrier instead of
+		// the engine event hook: fire runs on shard 0's worker with every
+		// other worker parked, so it may merge per-shard observer state.
+		coord.SetWindowHook(n.whDue, n.whFire)
+	}
 	// Re-pool packets per shard so every arena stays single-goroutine: a
 	// flow allocates and releases on its own shard, a link clones and
 	// releases duplicates on its own shard.

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSketchQuantileAccuracy pins the relative error bound of the
+// log-bucketed sketch against exact nearest-rank quantiles over a
+// log-uniform sample.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s sketch
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := math.Pow(10, rng.Float64()*8-2) // 1e-2 .. 1e6
+		xs = append(xs, v)
+		s.observe(v)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.95, 0.99} {
+		exact := xs[int(q*float64(len(xs)-1))]
+		got := s.quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.07 {
+			t.Errorf("q=%v: sketch %v vs exact %v (rel err %.3f > 0.07)", q, got, exact, rel)
+		}
+	}
+}
+
+// TestSketchZeroAndClamp covers the zero bucket and out-of-range clamping.
+func TestSketchZeroAndClamp(t *testing.T) {
+	var s sketch
+	for _, v := range []float64{0, -1, math.NaN()} {
+		s.observe(v)
+	}
+	if s.zero != 3 || s.n != 3 {
+		t.Fatalf("zero bucket %d / n %d, want 3/3", s.zero, s.n)
+	}
+	if got := s.quantile(0.5); got != 0 {
+		t.Errorf("all-zero median %v, want 0", got)
+	}
+	s.observe(1e300) // above range: clamps into the top bucket, no panic
+	s.observe(1e-300)
+	if got := s.quantile(1); got <= 0 {
+		t.Errorf("max quantile %v after clamped observe", got)
+	}
+}
+
+// TestSketchMerge checks merge equals observing the union.
+func TestSketchMerge(t *testing.T) {
+	var a, b, u sketch
+	for i := 1; i <= 1000; i++ {
+		v := float64(i)
+		if i%2 == 0 {
+			a.observe(v)
+		} else {
+			b.observe(v)
+		}
+		u.observe(v)
+	}
+	a.merge(&b)
+	if a.n != u.n || a.zero != u.zero {
+		t.Fatalf("merged n=%d zero=%d, want %d/%d", a.n, a.zero, u.n, u.zero)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if got, want := a.quantile(q), u.quantile(q); got != want {
+			t.Errorf("q=%v: merged %v != union %v", q, got, want)
+		}
+	}
+}
+
+// TestSketchObserveAllocs pins the zero-allocation hot path.
+func TestSketchObserveAllocs(t *testing.T) {
+	var s sketch
+	if allocs := testing.AllocsPerRun(1000, func() { s.observe(123.4) }); allocs != 0 {
+		t.Errorf("observe allocates %.1f per op", allocs)
+	}
+}

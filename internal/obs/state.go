@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// State is the live surface of the observatory: a bounded ring of the most
+// recent fairness snapshots plus a fan-out to SSE subscribers. One State
+// outlives many runs (it belongs to the Runtime, not the Observer), so a
+// sweep's debug endpoint shows a continuous feed across scenarios.
+//
+// Publishing is cheap and never blocks the simulation: the ring write is a
+// short mutex hold and subscriber sends are non-blocking (a slow consumer
+// drops snapshots rather than stalling shard 0's worker).
+type State struct {
+	mu   sync.Mutex
+	ring [stateRingSize]FairnessSnapshot
+	n    uint64
+	subs map[chan FairnessSnapshot]struct{}
+}
+
+const stateRingSize = 512
+
+// NewState returns an empty live surface.
+func NewState() *State {
+	return &State{subs: make(map[chan FairnessSnapshot]struct{})}
+}
+
+func (s *State) publish(snap FairnessSnapshot) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ring[s.n%stateRingSize] = snap
+	s.n++
+	for ch := range s.subs {
+		select {
+		case ch <- snap:
+		default: // slow subscriber: drop, never stall the simulation
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Latest returns the most recent snapshot (ok=false before the first one).
+func (s *State) Latest() (FairnessSnapshot, bool) {
+	if s == nil {
+		return FairnessSnapshot{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return FairnessSnapshot{}, false
+	}
+	return s.ring[(s.n-1)%stateRingSize], true
+}
+
+// Recent returns up to the stateRingSize most recent snapshots, oldest
+// first.
+func (s *State) Recent() []FairnessSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := uint64(0)
+	if s.n > stateRingSize {
+		start = s.n - stateRingSize
+	}
+	out := make([]FairnessSnapshot, 0, s.n-start)
+	for i := start; i < s.n; i++ {
+		out = append(out, s.ring[i%stateRingSize])
+	}
+	return out
+}
+
+// subscribe registers a snapshot channel; the returned func unsubscribes.
+func (s *State) subscribe() (chan FairnessSnapshot, func()) {
+	ch := make(chan FairnessSnapshot, 64)
+	s.mu.Lock()
+	s.subs[ch] = struct{}{}
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		delete(s.subs, ch)
+		s.mu.Unlock()
+	}
+}
+
+// fairnessPage is the /fairness JSON shape.
+type fairnessPage struct {
+	Live   bool               `json:"live"`
+	Latest *FairnessSnapshot  `json:"latest,omitempty"`
+	Recent []FairnessSnapshot `json:"recent"`
+}
+
+// ServeHTTP answers /fairness with the latest snapshot plus the recent ring
+// as JSON. Mount it and StreamHandler on the telemetry debug server via
+// DebugServer.Handle.
+func (s *State) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	page := fairnessPage{Recent: s.Recent()}
+	if latest, ok := s.Latest(); ok {
+		page.Live = true
+		page.Latest = &latest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(page)
+}
+
+// StreamHandler serves the snapshot feed as server-sent events: one
+// `data: <snapshot JSON>` frame per FairnessSnapshot, starting with the most
+// recent one so a new subscriber renders immediately. The stream ends when
+// the client disconnects.
+func (s *State) StreamHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		ch, cancel := s.subscribe()
+		defer cancel()
+		write := func(snap FairnessSnapshot) bool {
+			b, err := json.Marshal(snap)
+			if err != nil {
+				return false
+			}
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return false
+			}
+			w.Write(b)
+			if _, err := w.Write([]byte("\n\n")); err != nil {
+				return false
+			}
+			fl.Flush()
+			return true
+		}
+		if latest, ok := s.Latest(); ok && !write(latest) {
+			return
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case snap := <-ch:
+				if !write(snap) {
+					return
+				}
+			}
+		}
+	})
+}

@@ -19,7 +19,11 @@ import (
 )
 
 const (
-	recVersion = 1
+	// recVersion 2 added FlowRecord.LateMeanBps and the optional Record
+	// .Stream summary. The decoder is strict-single-version: v1 records fail
+	// decode (the store treats them as missing and re-runs the experiment),
+	// which keeps the encode/decode bijection exact.
+	recVersion = 2
 
 	// Frame layout: u32 payload length, u32 CRC32C of the payload, payload.
 	frameHdrLen = 8
@@ -30,7 +34,7 @@ const (
 	// Per-element minimum encoded sizes, used to bound count fields against
 	// the remaining input before allocating.
 	minStrBytes   = 4
-	minFlowBytes  = 4 + 8 + 9*8 + 2*8 + 2*8 + 4
+	minFlowBytes  = 4 + 8 + 9*8 + 2*8 + 2*8 + 8 + 4
 	minPointBytes = 7 * 8
 	minShardBytes = 8
 )
@@ -90,6 +94,7 @@ func appendRecord(dst []byte, rec *Record) []byte {
 		dst = appendF64(dst, f.Stats.LossRate)
 		dst = appendI64(dst, f.Degraded)
 		dst = appendI64(dst, f.NonFinite)
+		dst = appendF64(dst, f.LateMeanBps)
 		dst = appendU32(dst, uint32(len(f.Series)))
 		for _, p := range f.Series {
 			dst = appendI64(dst, int64(p.T))
@@ -105,6 +110,22 @@ func appendRecord(dst []byte, rec *Record) []byte {
 	dst = appendU32(dst, uint32(len(rec.ShardExecuted)))
 	for _, e := range rec.ShardExecuted {
 		dst = appendI64(dst, e)
+	}
+	dst = appendBool(dst, rec.Stream != nil)
+	if s := rec.Stream; s != nil {
+		dst = appendF64(dst, s.FinalJain)
+		dst = appendF64(dst, s.MinWindowJain)
+		dst = appendI64(dst, s.Snapshots)
+		dst = appendI64(dst, s.Samples)
+		dst = appendF64(dst, s.RateP50)
+		dst = appendF64(dst, s.RateP95)
+		dst = appendF64(dst, s.RateP99)
+		dst = appendF64(dst, s.RTTP50)
+		dst = appendF64(dst, s.RTTP95)
+		dst = appendF64(dst, s.RTTP99)
+		dst = appendI64(dst, s.Drops)
+		dst = appendI64(dst, s.Faults)
+		dst = appendI64(dst, s.Degraded)
 	}
 	return dst
 }
@@ -248,6 +269,7 @@ func decodeRecord(b []byte) (*Record, error) {
 			f.Stats.LossRate = r.f64()
 			f.Degraded = r.i64()
 			f.NonFinite = r.i64()
+			f.LateMeanBps = r.f64()
 			if m := r.count("series point", minPointBytes); m > 0 {
 				f.Series = make([]netsim.SeriesPoint, 0, m)
 				for j := 0; j < m && r.err == nil; j++ {
@@ -270,6 +292,25 @@ func decodeRecord(b []byte) (*Record, error) {
 		rec.ShardExecuted = make([]int64, 0, n)
 		for i := 0; i < n && r.err == nil; i++ {
 			rec.ShardExecuted = append(rec.ShardExecuted, r.i64())
+		}
+	}
+	if r.boolean() {
+		s := &StreamSummary{}
+		s.FinalJain = r.f64()
+		s.MinWindowJain = r.f64()
+		s.Snapshots = r.i64()
+		s.Samples = r.i64()
+		s.RateP50 = r.f64()
+		s.RateP95 = r.f64()
+		s.RateP99 = r.f64()
+		s.RTTP50 = r.f64()
+		s.RTTP95 = r.f64()
+		s.RTTP99 = r.f64()
+		s.Drops = r.i64()
+		s.Faults = r.i64()
+		s.Degraded = r.i64()
+		if r.err == nil {
+			rec.Stream = s
 		}
 	}
 	if r.err != nil {

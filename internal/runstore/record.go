@@ -63,7 +63,32 @@ type FlowRecord struct {
 	Stats     netsim.FlowStats
 	Degraded  int64 // core.Jury degraded (AIMD-fallback) decisions; 0 for other schemes
 	NonFinite int64 // core.Jury non-finite actions that reached Eq. 7 (must be 0)
-	Series    []netsim.SeriesPoint
+	// LateMeanBps is the flow's mean throughput over the late window
+	// [Horizon/3, Horizon], precomputed at record time so fairness tables
+	// still work for compact records whose Series was dropped.
+	LateMeanBps float64
+	Series      []netsim.SeriesPoint
+}
+
+// StreamSummary is the compact streaming-observability digest of a run
+// (obs.StreamSummary, mirrored here so the store stays free of upper-layer
+// imports): the final and worst windowed Jain, sketch percentiles of rate
+// and RTT, and the fault/degradation counters. It is what a million-flow
+// record keeps instead of per-flow series.
+type StreamSummary struct {
+	FinalJain     float64
+	MinWindowJain float64
+	Snapshots     int64
+	Samples       int64
+	RateP50       float64
+	RateP95       float64
+	RateP99       float64
+	RTTP50        float64
+	RTTP95        float64
+	RTTP99        float64
+	Drops         int64
+	Faults        int64
+	Degraded      int64
 }
 
 // Record is one stored run.
@@ -91,6 +116,10 @@ type Record struct {
 	// per-shard breakdown. Zero/empty for dumbbell scenario records.
 	Events        int64
 	ShardExecuted []int64
+
+	// Stream is the streaming-observability summary of the run; nil when the
+	// run executed without the obs layer attached.
+	Stream *StreamSummary
 }
 
 // Policy selects when the WAL is fsynced.

@@ -104,9 +104,13 @@ type Checker struct {
 	flows map[*netsim.Flow]*flowAcct
 	links map[*netsim.Link]*linkAcct
 
-	mu         sync.Mutex // guards violations + nViolation
+	mu         sync.Mutex // guards violations + nViolation + onViolation
 	violations []Violation
 	nViolation int64
+
+	// onViolation, if set, is invoked (under mu) for every recorded breach.
+	// The observability layer uses it to trigger flight-recorder dumps.
+	onViolation func(Violation)
 
 	lastEventAt time.Duration
 	events      uint64
@@ -147,11 +151,25 @@ func (c *Checker) violate(at time.Duration, rule, format string, args ...any) {
 	if len(c.violations) >= maxRecorded {
 		return
 	}
-	c.violations = append(c.violations, Violation{
+	v := Violation{
 		Time:   at,
 		Rule:   rule,
 		Detail: fmt.Sprintf(format, args...),
-	})
+	}
+	c.violations = append(c.violations, v)
+	if c.onViolation != nil {
+		c.onViolation(v)
+	}
+}
+
+// SetViolationHook installs a callback invoked for each recorded violation
+// (at most maxRecorded times per run). The callback runs under the checker's
+// violation mutex and may fire from any shard's goroutine; it must not call
+// back into the checker.
+func (c *Checker) SetViolationHook(fn func(Violation)) {
+	c.mu.Lock()
+	c.onViolation = fn
+	c.mu.Unlock()
 }
 
 func (c *Checker) flow(f *netsim.Flow) *flowAcct {
@@ -318,6 +336,19 @@ func (c *Checker) IntervalDelivered(f *netsim.Flow, s cc.IntervalStats) {
 	}
 	if s.AckedPackets > 0 && s.AvgRTT < s.MinRTT {
 		c.violate(f.Now(), "interval", "flow %s interval avg RTT %v below min %v", f.Name(), s.AvgRTT, s.MinRTT)
+	}
+}
+
+// SampleRecorded implements netsim.Tap: recorded samples are derived from
+// counters the other callbacks already cross-check, so only basic sanity is
+// verified here (the point must not travel backwards in time or report a
+// negative rate).
+func (c *Checker) SampleRecorded(f *netsim.Flow, p netsim.SeriesPoint) {
+	if p.ThroughputBps < 0 {
+		c.violate(p.T, "interval", "flow %s recorded negative throughput %v", f.Name(), p.ThroughputBps)
+	}
+	if p.T < 0 {
+		c.violate(p.T, "clock", "flow %s recorded sample at negative time %v", f.Name(), p.T)
 	}
 }
 

@@ -207,6 +207,14 @@ type Coordinator struct {
 	rounds int64 // barrier episodes (written by shard 0's worker only)
 	fused  int64 // windows that skipped the exchange phase (ditto)
 	ran    bool
+
+	// Window hook (SetWindowHook): hookDue is consulted by shard 0 after
+	// each executed window; when it reports true the window is forced onto
+	// the exchange path and hookFire runs on shard 0's worker between the
+	// two exchange barriers — every other worker is parked, so the hook may
+	// read state written by any shard during the window without racing.
+	hookDue  func(end time.Duration) bool
+	hookFire func(end time.Duration)
 }
 
 // NewCoordinator wraps engines (one per shard) for windowed execution.
@@ -252,6 +260,24 @@ func NewCoordinator(engines []*Engine, window time.Duration) *Coordinator {
 
 // Shard returns shard i's handle (for wiring emitters before Run).
 func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// SetWindowHook installs a barrier-synchronized observer of window
+// boundaries. After every executed window [w, end), shard 0 evaluates
+// due(end); when it returns true the window takes the exchange path (two
+// barriers) and fire(end) runs on shard 0's worker while every other worker
+// waits at the second barrier — at that point all events before end have
+// executed on every shard, and no shard is mutating its state, so fire may
+// merge per-shard accumulators written during the window. Both callbacks
+// must depend only on end and the hook's own state (never on goroutine
+// timing), keeping the window sequence deterministic; neither may schedule
+// events or touch any engine, so an observed run stays digest-identical to
+// a bare one. Call before Run.
+func (c *Coordinator) SetWindowHook(due func(end time.Duration) bool, fire func(end time.Duration)) {
+	if c.ran {
+		panic("simcore: SetWindowHook after Run")
+	}
+	c.hookDue, c.hookFire = due, fire
+}
 
 // ExecutedPerShard returns how many events each shard executed. Valid after
 // Run returns.
@@ -382,6 +408,15 @@ func (c *Coordinator) worker(s *Shard, stop, window time.Duration) {
 		if c.merged != nil && len(s.win) > 0 {
 			flag = 1
 		}
+		// The window hook needs the parked-workers guarantee of the exchange
+		// phase, so a due window publishes the exchange flag even when
+		// nothing crossed shards. Only shard 0 consults the hook; the flag
+		// propagates the decision to every worker.
+		fireHook := false
+		if s.id == 0 && c.hookDue != nil && c.hookDue(end) {
+			fireHook = true
+			flag = 1
+		}
 		c.flags[write][s.id].v.Store(flag)
 
 		c.bar.await(&sense)
@@ -405,6 +440,9 @@ func (c *Coordinator) worker(s *Shard, stop, window time.Duration) {
 			c.nextAt[phase&1][s.id].v.Store(nextAtOf(s.eng))
 			if s.id == 0 {
 				c.deliverMerged()
+				if fireHook {
+					c.hookFire(end)
+				}
 			}
 			c.bar.await(&sense)
 			phase++

@@ -21,6 +21,7 @@ import (
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 }
 
 // ServeDebug starts a debug server on addr ("127.0.0.1:0" for an ephemeral
@@ -51,17 +52,31 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 			return
 		}
 		fmt.Fprint(w, "jury debug endpoint\n\n"+
-			"  /metrics        Prometheus text exposition\n"+
-			"  /metrics.json   JSON exposition\n"+
-			"  /debug/vars     expvar\n"+
-			"  /debug/pprof/   pprof profiles (profile?seconds=N for CPU)\n")
+			"  /metrics          Prometheus text exposition\n"+
+			"  /metrics.json     JSON exposition\n"+
+			"  /debug/vars       expvar\n"+
+			"  /debug/pprof/     pprof profiles (profile?seconds=N for CPU)\n"+
+			"  /fairness         latest streaming fairness snapshot (when obs is attached)\n"+
+			"  /fairness/stream  fairness snapshots as server-sent events\n")
 	})
 	d := &DebugServer{
 		ln:  ln,
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		mux: mux,
 	}
 	go d.srv.Serve(ln)
 	return d, nil
+}
+
+// Handle mounts an extra handler on the debug mux — the seam higher layers
+// (the obs fairness surfaces) use to publish live endpoints without the
+// telemetry package importing them. Safe before any request is served;
+// panics on a duplicate pattern like http.ServeMux does.
+func (d *DebugServer) Handle(pattern string, h http.Handler) {
+	if d == nil {
+		return
+	}
+	d.mux.Handle(pattern, h)
 }
 
 // Addr reports the bound address (host:port).

@@ -120,6 +120,15 @@ func (h *Hub) preRegister() {
 // Enabled reports whether the hub is live.
 func (h *Hub) Enabled() bool { return h != nil }
 
+// Debug returns the hub's live debug server (nil when none is running),
+// letting callers mount extra endpoints via DebugServer.Handle.
+func (h *Hub) Debug() *DebugServer {
+	if h == nil {
+		return nil
+	}
+	return h.debug
+}
+
 // DebugAddr reports the bound debug address ("" when none).
 func (h *Hub) DebugAddr() string {
 	if h == nil {

@@ -16,6 +16,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -24,6 +25,30 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// ErrBadBuckets reports a histogram bucket slice that cannot define a valid
+// partition: empty, not strictly increasing, or containing NaN. Observe
+// depends on a strictly increasing bound slice (it binary-searches it), so a
+// bad slice would silently misbucket every sample; construction rejects it
+// instead.
+var ErrBadBuckets = errors.New("telemetry: histogram buckets must be non-empty, finite-or-+Inf-free of NaN, and strictly increasing")
+
+// validateBuckets returns ErrBadBuckets (wrapped with the offending detail)
+// unless bounds is non-empty, NaN-free, and strictly increasing.
+func validateBuckets(bounds []float64) error {
+	if len(bounds) == 0 {
+		return fmt.Errorf("%w: empty slice", ErrBadBuckets)
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) {
+			return fmt.Errorf("%w: NaN at index %d", ErrBadBuckets, i)
+		}
+		if i > 0 && bounds[i-1] >= b {
+			return fmt.Errorf("%w: bounds[%d]=%v not above bounds[%d]=%v", ErrBadBuckets, i, b, i-1, bounds[i-1])
+		}
+	}
+	return nil
+}
 
 // Counter is a monotonically increasing atomic counter. The zero value is
 // usable; a nil Counter is a no-op.
@@ -262,27 +287,44 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 }
 
 // Histogram returns the histogram registered under name, creating it with
-// the given bucket bounds on first use (bounds are ignored on reuse).
+// the given bucket bounds on first use (bounds are ignored on reuse). It
+// panics on invalid bounds — histogram schemas are compile-time constants in
+// this repository, so a bad slice is a programming error; callers taking
+// bounds from config should use TryHistogram.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h, err := r.TryHistogram(name, help, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// TryHistogram is Histogram returning ErrBadBuckets (wrapped) instead of
+// panicking when bounds is empty, unsorted, or contains NaN. Validation
+// happens at construction only: on reuse, bounds are ignored (passing nil
+// to look up an existing histogram is the read-path idiom), and on a nil
+// registry the disabled no-op contract wins — nil instrument, no error.
+func (r *Registry) TryHistogram(name, help string, bounds []float64) (*Histogram, error) {
 	if r == nil {
-		return nil
+		return nil, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h, ok := r.hists[name]; ok {
-		return h
+		return h, nil
 	}
-	bs := append([]float64(nil), bounds...)
-	sort.Float64s(bs)
+	if err := validateBuckets(bounds); err != nil {
+		return nil, err
+	}
 	h := &Histogram{
-		bounds: bs,
-		counts: make([]atomic.Int64, len(bs)+1),
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
 		name:   name,
 		help:   help,
 	}
 	r.hists[name] = h
 	r.addName(name)
-	return h
+	return h, nil
 }
 
 // snapshot returns the registered names in sorted order plus the lookup

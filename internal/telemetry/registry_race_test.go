@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketValidation pins the construction-time rejection of
+// bucket slices Observe cannot binary-search: empty, unsorted, duplicated,
+// and NaN-bearing slices all fail with ErrBadBuckets; a valid slice is
+// copied (caller mutation cannot corrupt the histogram).
+func TestHistogramBucketValidation(t *testing.T) {
+	r := NewRegistry()
+	bad := [][]float64{
+		nil,
+		{},
+		{2, 1},               // unsorted
+		{1, 1},               // duplicate
+		{1, 2, 2, 3},         // duplicate mid-slice
+		{1, math.NaN()},      // NaN
+		{math.NaN()},         // lone NaN
+		{3, 2, 1},            // descending
+		{1, 2, math.Inf(-1)}, // -Inf after finite
+	}
+	for i, bs := range bad {
+		if _, err := r.TryHistogram(fmt.Sprintf("h_bad_%d", i), "", bs); !errors.Is(err, ErrBadBuckets) {
+			t.Errorf("buckets %v: err = %v, want ErrBadBuckets", bs, err)
+		}
+	}
+	// Valid boundary shapes: single bucket, +Inf as last bound, negatives.
+	for i, bs := range [][]float64{
+		{1},
+		{-5, 0, 5},
+		{1, math.Inf(1)},
+	} {
+		h, err := r.TryHistogram(fmt.Sprintf("h_ok_%d", i), "", bs)
+		if err != nil || h == nil {
+			t.Fatalf("valid buckets %v rejected: %v", bs, err)
+		}
+	}
+	// Histogram (the panicking variant) must reject too.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Histogram with empty buckets did not panic")
+			}
+		}()
+		r.Histogram("h_panic", "", nil)
+	}()
+	// The copied-bounds guarantee: mutate the input after construction.
+	in := []float64{1, 2, 3}
+	h := r.Histogram("h_copy", "", in)
+	in[0] = 99
+	h.Observe(1.5)
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("sample landed in bucket counts[1]=%d after caller mutated input bounds", got)
+	}
+}
+
+// TestHistogramObserveBoundaries pins the bucket edge semantics: bounds are
+// inclusive upper limits and the +Inf slot catches the rest.
+func TestHistogramObserveBoundaries(t *testing.T) {
+	h := NewRegistry().Histogram("h_edges", "", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 11, math.Inf(1)} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2} // (-inf,1], (1,10], (10,+inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d: %d samples, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+}
+
+// TestRegistryConcurrentGetOrCreate hammers the get-or-create paths from
+// many goroutines under -race: same-name registration must converge on one
+// instrument, different names must all materialize, and exposition must be
+// safe to run mid-registration.
+func TestRegistryConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 64
+	var wg sync.WaitGroup
+
+	// Same-name races: every worker must get the same instrument back.
+	sameC := make([]*Counter, workers)
+	sameG := make([]*Gauge, workers)
+	sameH := make([]*Histogram, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sameC[w] = r.Counter("shared_total", "")
+			sameG[w] = r.Gauge("shared_gauge", "")
+			sameH[w] = r.Histogram("shared_hist", "", []float64{1, 2, 4})
+			sameC[w].Inc()
+			sameH[w].Observe(1)
+			// Distinct names: one family per worker.
+			for i := 0; i < perWorker; i++ {
+				r.Counter(fmt.Sprintf("w%d_c%d_total", w, i), "").Inc()
+				r.GaugeFunc(fmt.Sprintf("w%d_f%d", w, i), "", func() float64 { return 1 })
+			}
+		}(w)
+	}
+	// Exposition races registration.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 32; i++ {
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+			}
+			if err := r.WriteJSON(io.Discard); err != nil {
+				t.Errorf("WriteJSON: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	for w := 1; w < workers; w++ {
+		if sameC[w] != sameC[0] || sameG[w] != sameG[0] || sameH[w] != sameH[0] {
+			t.Fatalf("worker %d received a different instrument for a shared name", w)
+		}
+	}
+	if got := sameC[0].Value(); got != workers {
+		t.Errorf("shared counter = %d, want %d", got, workers)
+	}
+	if got := sameH[0].Count(); got != workers {
+		t.Errorf("shared histogram count = %d, want %d", got, workers)
+	}
+	if got := r.Counter("w3_c7_total", "").Value(); got != 1 {
+		t.Errorf("per-worker counter = %d, want 1", got)
+	}
+}

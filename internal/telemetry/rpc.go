@@ -1,6 +1,9 @@
 package telemetry
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // RPCServerStats is the structural slice of agentrpc.Server the hub
 // exports (Decisions and Panics are mutex-guarded, safe to call from the
@@ -77,10 +80,29 @@ func (h *Hub) ExportRPCDaemon(s RPCDaemonStats) {
 		func() float64 { return float64(s.PolicyVersion()) })
 	s.OnTenant(func(name string) {
 		tenant := name
-		r.GaugeFunc("rpc_tenant_decisions_"+sanitizeMetricName(tenant),
+		r.GaugeFunc("rpc_tenant_decisions_"+tenantMetricName(tenant),
 			"decisions served for tenant "+tenant,
 			func() float64 { return float64(s.TenantDecisions(tenant)) })
 	})
+}
+
+// tenantMetricName maps a tenant label onto the metric-name alphabet.
+// Sanitization is lossy ("team-a" and "team.a" both become "team_a"), and a
+// collision would silently fold two tenants' gauges into one — the later
+// registration re-points the GaugeFunc. Any label that sanitization altered
+// therefore carries a short FNV-1a hash of the *original* label, which keeps
+// distinct tenants distinct while leaving already-clean names untouched.
+func tenantMetricName(tenant string) string {
+	clean := sanitizeMetricName(tenant)
+	if clean == tenant {
+		return clean
+	}
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint64(tenant[i])) * prime
+	}
+	return fmt.Sprintf("%s_%06x", clean, h&0xffffff)
 }
 
 // sanitizeMetricName maps an arbitrary tenant label onto the Prometheus

@@ -98,7 +98,9 @@ func TestRPCDaemonInstrumentation(t *testing.T) {
 		"rpc_server_batched_requests 2",
 		"rpc_server_swaps 1",
 		"rpc_server_policy_version 2",
-		"rpc_tenant_decisions_flow_a 2", // label sanitized for the exposition
+		// Label sanitized for the exposition; sanitization altered it, so it
+		// carries the disambiguating hash of the original "flow a".
+		"rpc_tenant_decisions_flow_a_fc43aa 2",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)

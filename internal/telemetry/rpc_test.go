@@ -1,0 +1,34 @@
+package telemetry
+
+import "testing"
+
+// TestTenantMetricNameCollision pins the collision fix: two distinct tenant
+// labels that sanitize to the same metric-name string must still yield
+// distinct gauge names, while labels already in the metric alphabet pass
+// through untouched.
+func TestTenantMetricNameCollision(t *testing.T) {
+	a, b := tenantMetricName("team-a"), tenantMetricName("team.a")
+	if sanitizeMetricName("team-a") != sanitizeMetricName("team.a") {
+		t.Fatal("test premise broken: labels no longer collide after sanitizing")
+	}
+	if a == b {
+		t.Fatalf("tenantMetricName collision: %q and %q both map to %q", "team-a", "team.a", a)
+	}
+	if got := tenantMetricName("clean_name_7"); got != "clean_name_7" {
+		t.Errorf("clean label altered: %q", got)
+	}
+	// Stability: the suffix depends only on the label.
+	if again := tenantMetricName("team-a"); again != a {
+		t.Errorf("tenantMetricName not stable: %q then %q", a, again)
+	}
+}
+
+// TestTenantMetricNameLeadingDigit covers the sanitizer's leading-digit
+// rule interacting with the hash suffix: "9flows" is altered (leading digit
+// becomes '_'), so it must gain a suffix and stay distinct from a literal
+// "_flows" tenant.
+func TestTenantMetricNameLeadingDigit(t *testing.T) {
+	if got, clean := tenantMetricName("9flows"), tenantMetricName("_flows"); got == clean {
+		t.Fatalf("%q and %q collide as %q", "9flows", "_flows", got)
+	}
+}

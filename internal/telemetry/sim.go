@@ -191,6 +191,11 @@ func (o *SimObserver) IntervalDelivered(f *netsim.Flow, s cc.IntervalStats) {
 	)
 }
 
+// SampleRecorded implements netsim.Tap. The observer's per-interval event
+// stream already carries the same signal at controller granularity, so
+// recorded series points are not duplicated into the trace.
+func (o *SimObserver) SampleRecorded(f *netsim.Flow, p netsim.SeriesPoint) {}
+
 // FaultInjected implements netsim.Tap.
 func (o *SimObserver) FaultInjected(l *netsim.Link, f *netsim.Flow, kind netsim.FaultKind, bytes int) {
 	o.faults.Inc()

@@ -46,6 +46,13 @@ go test -race -run '^TestSharded' -count=1 ./internal/simcheck
 echo "== telemetry: disabled-path zero-alloc + digest parity"
 go test -run '^(TestDisabledZeroAlloc|TestEnabledEventZeroAlloc|TestNilSafety|TestTelemetryDigestParity)$' -count=1 ./internal/telemetry
 
+echo "== telemetry: metric-family get-or-create race + histogram bucket validation"
+go test -race -run '^(TestRegistryConcurrentGetOrCreate|TestHistogramBucketValidation|TestTenantMetricNameCollision)$' -count=1 ./internal/telemetry
+
+echo "== streaming obs: zero-alloc hot path + streaming-vs-post-hoc Jain + digest parity"
+go test -run '^(TestSampleRecordedAllocs|TestSketchObserveAllocs|TestStreamingJainMatchesPostHoc)' -count=1 ./internal/obs
+go test -run '^(TestObsStreamingJainMatchesPostHoc|TestObsDigestParity|TestObsShardedDigestParity|TestObsFlightRecorderOnFaults)$' -count=1 ./internal/exp
+
 echo "== inference daemon: chaos matrix under the race detector"
 go test -race -run '^(TestChaos|TestClientShedsAboveMaxPending|TestServerWriteDeadlineDropsStalledReader|TestDialBackoffJitterDesynchronizes|TestRuntimeNonFiniteRollsBack|TestDrainAnswersInFlight)' -count=1 ./internal/agentrpc
 
